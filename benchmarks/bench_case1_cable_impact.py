@@ -1,0 +1,31 @@
+"""E1 — §4.1 Case Study 1: expert-level cable impact analysis.
+
+Regenerates the paper's CS1 comparison rows: functional overlap with the
+expert (Xaminer-style) workflow, equivalence of the country-level analysis,
+and generated-code size (paper reports ≈250 lines).
+"""
+
+from benchmarks.conftest import print_rows
+from repro.evalharness.casestudies import run_case1
+
+
+def test_case1_expert_replication(world, benchmark):
+    report = benchmark.pedantic(run_case1, args=(world,), rounds=1, iterations=1)
+
+    print_rows(
+        "Case Study 1: SeaMeWe-5 country-level impact (paper §4.1)",
+        [
+            ("query", report.query),
+            ("registry", "core Nautilus functions only (Xaminer withheld)"),
+            ("generated LoC", f"{report.metrics['generated_loc']} (paper ≈250)"),
+            ("functional overlap (jaccard)", report.metrics["functional_overlap_jaccard"]),
+            ("expert stage coverage", report.metrics["expert_stage_coverage"]),
+            ("affected-set jaccard", report.metrics["affected_set_jaccard"]),
+            ("per-country counts spearman", report.metrics["counts_spearman"]),
+            ("impact score spearman", report.metrics["score_spearman"]),
+            ("top-5 country overlap", report.metrics["top5_overlap"]),
+            ("exploration mode", report.metrics["exploration_mode"]),
+            ("checks", "ALL PASS" if report.all_passed else report.checks),
+        ],
+    )
+    assert report.all_passed, report.checks

@@ -1,0 +1,33 @@
+"""E2 — §4.1 Case Study 2: natural-disaster impact with skilled restraint.
+
+Regenerates the paper's CS2 rows: a single versatile function handles the
+multi-disaster analysis despite a full multi-framework registry, the
+extracted failure probability matches the query's "10%", and generated and
+expert workflows produce functionally identical results (paper ≈300 lines).
+"""
+
+from benchmarks.conftest import print_rows
+from repro.evalharness.casestudies import run_case2
+
+
+def test_case2_disaster_restraint(world, benchmark):
+    report = benchmark.pedantic(run_case2, args=(world,), rounds=1, iterations=1)
+
+    print_rows(
+        "Case Study 2: severe earthquakes + hurricanes @ 10% (paper §4.1)",
+        [
+            ("query", report.query),
+            ("registry", "full multi-framework registry"),
+            ("generated LoC", f"{report.metrics['generated_loc']} (paper ≈300)"),
+            ("analysis functions used", report.metrics["analysis_functions_used"]),
+            ("frameworks used", report.metrics["frameworks_used"]),
+            ("failure probability extracted", report.metrics["failure_probability"]),
+            ("events processed (gen/expert)",
+             f"{report.metrics['events_processed_generated']}/"
+             f"{report.metrics['events_processed_expert']}"),
+            ("identical failure sets", report.metrics["same_failed_cables"]),
+            ("combined ranking spearman", report.metrics["ranking_spearman"]),
+            ("checks", "ALL PASS" if report.all_passed else report.checks),
+        ],
+    )
+    assert report.all_passed, report.checks

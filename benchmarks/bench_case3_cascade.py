@@ -1,0 +1,36 @@
+"""E3 — §4.2 Case Study 3: automated cascading-failure analysis.
+
+Regenerates the paper's CS3 rows: integration across exactly four
+measurement frameworks, a cascade timeline spanning the cable, IP and AS
+layers, and generated-code size (paper ≈525 lines for what "traditionally
+requires days of manual coordination").
+"""
+
+from benchmarks.conftest import print_rows
+from repro.evalharness.casestudies import run_case3
+
+
+def test_case3_cascading_failures(world, benchmark):
+    report = benchmark.pedantic(run_case3, args=(world,), rounds=1, iterations=1)
+
+    print_rows(
+        "Case Study 3: Europe–Asia cascading failures (paper §4.2)",
+        [
+            ("query", report.query),
+            ("generated LoC", f"{report.metrics['generated_loc']} (paper ≈525)"),
+            ("frameworks integrated",
+             f"{report.metrics['framework_count']} "
+             f"({', '.join(report.metrics['frameworks_used'])}) (paper: 4)"),
+            ("corridor cables", report.metrics["corridor_cables_generated"]),
+            ("corridor matches expert",
+             report.metrics["corridor_cables_generated"]
+             == report.metrics["corridor_cables_expert"]),
+            ("timeline layers", report.metrics["timeline_layers"]),
+            ("cascade rounds (gen/expert)",
+             f"{report.metrics['cascade_rounds_generated']}/"
+             f"{report.metrics['cascade_rounds_expert']}"),
+            ("functional overlap (jaccard)", report.metrics["functional_overlap_jaccard"]),
+            ("checks", "ALL PASS" if report.all_passed else report.checks),
+        ],
+    )
+    assert report.all_passed, report.checks

@@ -1,0 +1,33 @@
+"""E4 — §4.3 Case Study 4: automated root-cause investigation.
+
+Regenerates the paper's CS4 rows: the generated forensic workflow recovers
+the injected cable failure (SeaMeWe-5) from latency observables alone,
+establishes causation with three independent evidence strands, and matches
+the expert verdict (paper ≈750 lines).
+"""
+
+from benchmarks.conftest import print_rows
+from repro.evalharness.casestudies import run_case4
+
+
+def test_case4_forensic_investigation(world, benchmark):
+    report = benchmark.pedantic(run_case4, args=(world,), rounds=1, iterations=1)
+
+    print_rows(
+        "Case Study 4: latency root-cause forensics (paper §4.3)",
+        [
+            ("query", report.query[:70] + "…"),
+            ("generated LoC", f"{report.metrics['generated_loc']} (paper ≈750)"),
+            ("ground-truth cable", report.metrics["true_cable"]),
+            ("identified (generated)", report.metrics["generated_identified"]),
+            ("identified (expert)", report.metrics["expert_identified"]),
+            ("verdict", report.metrics["generated_verdict"]),
+            ("confidence (gen/expert)",
+             f"{report.metrics['generated_confidence']}/"
+             f"{report.metrics['expert_confidence']}"),
+            ("onset error (hours)", report.metrics["onset_error_hours"]),
+            ("evidence strands", report.metrics["evidence_strands"]),
+            ("checks", "ALL PASS" if report.all_passed else report.checks),
+        ],
+    )
+    assert report.all_passed, report.checks

@@ -1,0 +1,54 @@
+"""A3 — registry evolution: validation-first gating prevents bloat.
+
+The paper's design argument (§3): RegistryCurator promotes only patterns
+that validate; repeated runs must not re-add equivalents, and failed
+executions contribute nothing.  Measured as registry growth over a sequence
+of pipeline runs.
+"""
+
+from benchmarks.conftest import print_rows
+from repro.core.agents import RegistryCurator
+from repro.core.artifacts import ExecutionOutcome
+from repro.core.llm.simulated import SimulatedLLM
+from repro.core.pipeline import ArachNet
+from repro.core.registry import default_registry
+from repro.evalharness.casestudies import CASE_QUERIES
+from repro.synth.scenarios import make_latency_incident
+
+
+def test_curator_growth_is_gated(world, benchmark):
+    def run_sequence():
+        registry = default_registry().subset(frameworks=["nautilus"])
+        baseline = len(registry)
+        growth = [("start", baseline, [])]
+
+        # Run CS1 three times over the same evolving registry.
+        system = ArachNet.for_world(world, registry=registry)
+        for i in range(3):
+            result = system.answer(CASE_QUERIES[1])
+            growth.append(
+                (f"cs1 run {i + 1}", len(registry), result.curator.added_entries)
+            )
+
+        # A failed execution must never grow the registry.
+        curator = RegistryCurator(SimulatedLLM(), registry)
+        before = len(registry)
+        curator.curate(result.design, ExecutionOutcome(succeeded=False, error="x"),
+                       registry)
+        growth.append(("failed execution", len(registry), []))
+        assert len(registry) == before
+        return growth
+
+    growth = benchmark.pedantic(run_sequence, rounds=1, iterations=1)
+
+    print_rows(
+        "Curator evolution (paper §3: validation before integration)",
+        [(label, f"registry size {size}, added: {added or '(none)'}")
+         for label, size, added in growth],
+    )
+    # Exactly one promotion across all repeat runs of the same pattern.
+    sizes = [size for _, size, _ in growth]
+    assert sizes[1] == sizes[0] + 1  # first run promotes the composite
+    assert sizes[2] == sizes[1]  # second run adds nothing
+    assert sizes[3] == sizes[2]  # third run adds nothing
+    assert sizes[4] == sizes[3]  # failed execution adds nothing

@@ -1,0 +1,60 @@
+"""A2 — adaptive exploration: effort scales with problem complexity.
+
+The paper's design argument (§3): WorkflowScout evaluates a direct solution
+path for simple queries and explores alternatives only for complex
+multi-framework problems.  Measured as exploration mode and alternative
+count per query class.
+"""
+
+from benchmarks.conftest import print_rows
+from repro.core.pipeline import ArachNet
+from repro.core.registry import default_registry
+from repro.evalharness.casestudies import CASE_QUERIES
+from repro.synth.scenarios import make_latency_incident
+
+SIMPLE_QUERY = "How exposed is Singapore to single cable failures?"
+
+
+def test_exploration_scales_with_complexity(world, benchmark):
+    def run_all():
+        rows = []
+        # Simple risk query: direct path expected.
+        system = ArachNet.for_world(world, curate=False)
+        simple = system.answer(SIMPLE_QUERY, params={"country_code": "SG"})
+        rows.append(("simple", simple))
+        # CS1 with full registry: a dedicated function exists → direct.
+        cs1 = ArachNet.for_world(world, curate=False).answer(CASE_QUERIES[1])
+        rows.append(("cs1-full-registry", cs1))
+        # Complex cases: comparative exploration expected.
+        for case in (2, 3):
+            result = ArachNet.for_world(world, curate=False).answer(CASE_QUERIES[case])
+            rows.append((f"cs{case}", result))
+        incidents = [make_latency_incident(world, "SeaMeWe-5")]
+        cs4 = ArachNet.for_world(world, incidents=incidents, curate=False).answer(
+            CASE_QUERIES[4]
+        )
+        rows.append(("cs4", cs4))
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    print_rows(
+        "Adaptive exploration (paper §3: direct for simple, comparative for complex)",
+        [
+            (label,
+             f"mode={result.design.exploration_mode}, "
+             f"alternatives={len(result.design.alternatives)}, "
+             f"steps={len(result.design.chosen.steps)}")
+            for label, result in rows
+        ],
+    )
+    by_label = dict(rows)
+    assert by_label["simple"].design.exploration_mode == "direct"
+    assert by_label["simple"].design.alternatives == []
+    assert by_label["cs1-full-registry"].design.exploration_mode == "direct"
+    for label in ("cs2", "cs3", "cs4"):
+        assert by_label[label].design.exploration_mode == "comparative", label
+        assert by_label[label].design.alternatives, label
+    # Complex designs carry more steps than simple ones.
+    assert (len(by_label["cs3"].design.chosen.steps)
+            > len(by_label["simple"].design.chosen.steps))

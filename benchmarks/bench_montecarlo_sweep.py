@@ -1,0 +1,36 @@
+"""Extension — Monte Carlo probability sweep (distributional impact).
+
+Not a paper table: extends case study 2 from single draws to distributions,
+sweeping the per-asset failure probability and reporting mean/p95 capacity
+loss — the dose-response curve an operator would actually plan against.
+"""
+
+from benchmarks.conftest import print_rows
+from repro.xaminer.montecarlo import monte_carlo_sweep
+from repro.synth.scenarios import default_disaster_catalog
+
+
+def test_probability_dose_response(world, benchmark):
+    quake = default_disaster_catalog()[0]
+    probabilities = [0.05, 0.1, 0.25, 0.5, 1.0]
+
+    def sweep():
+        return monte_carlo_sweep(world, quake, probabilities, trials=60)
+
+    summaries = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    print_rows(
+        f"Monte Carlo sweep — {quake.name} (60 trials per point)",
+        [
+            (f"p={summary.failure_probability:.2f}",
+             f"mean loss {summary.mean_capacity_lost_gbps:8.1f} Gbps, "
+             f"p95 {summary.p95_capacity_lost_gbps:8.1f} Gbps, "
+             f"quiet runs {summary.no_failure_fraction:.2f}")
+            for summary in summaries
+        ],
+    )
+    losses = [s.mean_capacity_lost_gbps for s in summaries]
+    assert losses == sorted(losses)  # dose-response is monotone
+    assert summaries[-1].no_failure_fraction == 0.0
+    quiet = [s.no_failure_fraction for s in summaries]
+    assert quiet == sorted(quiet, reverse=True)

@@ -1,0 +1,48 @@
+"""F1 — Figure 1: the four-agent architecture trace.
+
+Verifies the agent ordering and artifact hand-offs of Figure 1 on every
+case-study query, and times the full pipeline per query class.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_rows
+from repro.core.pipeline import ArachNet
+from repro.core.registry import default_registry
+from repro.evalharness.casestudies import CASE_QUERIES
+from repro.synth.scenarios import make_latency_incident
+
+EXPECTED_AGENTS = ["querymind", "workflowscout", "solutionweaver",
+                   "executor", "registrycurator"]
+
+EXPECTED_ARTIFACTS = ["ProblemAnalysis", "WorkflowDesign", "GeneratedSolution",
+                      "ExecutionOutcome", "CuratorReport"]
+
+
+@pytest.mark.parametrize("case", [1, 2, 3, 4])
+def test_figure1_stage_trace(world, benchmark, case):
+    incidents = [make_latency_incident(world, "SeaMeWe-5")] if case == 4 else []
+    registry = (default_registry().subset(frameworks=["nautilus"])
+                if case == 1 else default_registry())
+
+    def run():
+        system = ArachNet.for_world(world, registry=registry.clone(),
+                                    incidents=incidents)
+        return system.answer(CASE_QUERIES[case])
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    agents = [t.agent for t in result.stage_trace]
+    artifacts = [t.artifact_kind for t in result.stage_trace]
+    print_rows(
+        f"Figure 1 trace — case {case}",
+        [
+            ("agents", " → ".join(agents)),
+            ("artifacts", " → ".join(artifacts)),
+            ("execution", "ok" if result.execution.succeeded else "FAILED"),
+            ("generated LoC", result.solution.loc),
+        ],
+    )
+    assert agents == EXPECTED_AGENTS
+    assert artifacts == EXPECTED_ARTIFACTS
+    assert result.execution.succeeded

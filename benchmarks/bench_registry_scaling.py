@@ -1,0 +1,67 @@
+"""A1 — registry scaling: context cost grows linearly with tool count.
+
+The paper's design argument (§3): a compact capability registry scales
+linearly with available tools, unlike exposing entire codebases.  Measured
+as prompt-rendering size and lookup latency versus entry count.
+"""
+
+from benchmarks.conftest import print_rows
+from repro.core.registry import RegistryEntry, default_registry
+
+
+def _synthetic_entry(i: int) -> RegistryEntry:
+    return RegistryEntry(
+        name=f"synth{i}.function_{i}",
+        framework=f"synth{i}",
+        summary=f"Synthetic capability number {i} for scaling measurements.",
+        capabilities=(f"capability_{i % 7}", "synthetic"),
+        inputs=(("data", "list"), ("window", "float")),
+        outputs=(("result", "dict"),),
+        callable_ref="repro.nautilus.api:list_cables",
+    )
+
+
+def _registry_with(extra: int):
+    registry = default_registry()
+    for i in range(extra):
+        registry.add(_synthetic_entry(i))
+    return registry
+
+
+def test_registry_prompt_size_linear(benchmark):
+    sizes: list[tuple[int, int]] = []
+
+    def measure():
+        rows = []
+        for extra in (0, 20, 40, 80, 160):
+            registry = _registry_with(extra)
+            rows.append((len(registry), len(registry.to_prompt_text())))
+        return rows
+
+    sizes = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    # Fit bytes-per-entry between consecutive sizes; linearity means the
+    # marginal cost is stable (within 2x across the whole range).
+    marginals = [
+        (sizes[i + 1][1] - sizes[i][1]) / (sizes[i + 1][0] - sizes[i][0])
+        for i in range(len(sizes) - 1)
+    ]
+    print_rows(
+        "Registry scaling (paper §3: 'scales linearly with available tools')",
+        [(f"{count} entries", f"{size} prompt bytes") for count, size in sizes]
+        + [("marginal bytes/entry", [round(m, 1) for m in marginals])],
+    )
+    assert max(marginals) / min(marginals) < 2.0
+    # And the whole-registry rendering stays well under a model context.
+    assert sizes[-1][1] < 200_000
+
+
+def test_registry_lookup_fast_at_scale(benchmark):
+    registry = _registry_with(200)
+
+    def lookups():
+        for name in registry.names():
+            registry.get(name)
+        registry.find_by_capability(["capability_3"])
+
+    benchmark(lookups)

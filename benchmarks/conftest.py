@@ -1,0 +1,19 @@
+"""Benchmark fixtures: shared world and row-printing helpers."""
+
+import pytest
+
+from repro.synth.world import WorldConfig, build_world
+
+
+@pytest.fixture(scope="session")
+def world():
+    return build_world(WorldConfig())
+
+
+def print_rows(title: str, rows: list[tuple]) -> None:
+    """Print paper-style result rows under a header (shown with -s)."""
+    print()
+    print(f"=== {title} ===")
+    width = max(len(str(r[0])) for r in rows) if rows else 10
+    for key, value in rows:
+        print(f"  {str(key):<{width}}  {value}")

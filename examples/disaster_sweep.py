@@ -1,0 +1,44 @@
+"""Case study 2 (paper §4.1): multi-disaster impact with skilled restraint.
+
+The full multi-framework registry is available, but the right solution uses
+one versatile function — ``xaminer.process_event`` — iterated per severe
+event at the query's 10% failure probability, then combined.
+
+Run:  python examples/disaster_sweep.py
+"""
+
+from repro.core import ArachNet, StepType
+from repro.synth import build_world
+
+QUERY = ("Identify the impact of severe earthquakes and hurricanes globally "
+         "assuming a 10% infra failure probability")
+
+
+def main() -> None:
+    world = build_world()
+    system = ArachNet.for_world(world)
+    result = system.answer(QUERY)
+    assert result.execution.succeeded, result.execution.error
+
+    registry_steps = [s.target for s in result.design.chosen.steps
+                      if s.step_type is StepType.REGISTRY]
+    print(f"query: {QUERY}")
+    print(f"\nextracted failure probability: "
+          f"{result.design.param_defaults['failure_probability']}")
+    print(f"registry functions invoked: {sorted(set(registry_steps))}")
+    print(f"frameworks: {result.design.chosen.frameworks_used()} "
+          "(restraint: one framework despite many available)")
+    print(f"rationale: {result.design.chosen.rationale[:140]}…")
+    print(f"rejected alternative: {result.design.alternatives[0].rationale[:100]}…")
+
+    final = result.execution.outputs["final"]
+    combined = final["context"]
+    print(f"\nevents combined: {combined.get('events_combined')}")
+    print(f"failed cables:   {combined.get('failed_cable_ids')}")
+    print("\nglobal impact ranking:")
+    for row in final["ranking"][:8]:
+        print(f"  {row['country']}: {row['score']:.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Expert mode (paper §3): specialists review and adjust between stages.
+
+An expert hook tightens the analysis (adds a methodological constraint) and
+redirects the design to a different cable before implementation — the
+"review and adjust outputs between agents" loop the paper describes.
+
+Run:  python examples/expert_mode.py
+"""
+
+from repro.core import ArachNet, ExpertHooks
+from repro.core.artifacts import Constraint
+from repro.synth import build_world
+
+QUERY = "Identify the impact at a country level due to SeaMeWe-5 cable failure"
+
+
+def main() -> None:
+    world = build_world()
+
+    def review_analysis(analysis):
+        print("[expert] reviewing problem analysis…")
+        analysis.constraints.append(Constraint(
+            kind="methodological",
+            description="report per-metric breakdowns, not just scores",
+        ))
+        return analysis
+
+    def review_design(design):
+        print("[expert] reviewing workflow design…")
+        print(f"[expert]   scout chose: {[s.target for s in design.chosen.steps]}")
+        # The operator actually cares about AAE-1 today; redirect the target.
+        design.param_defaults["cable_name"] = "AAE-1"
+        print("[expert]   retargeting analysis to AAE-1")
+        return design
+
+    system = ArachNet.for_world(
+        world,
+        mode="expert",
+        hooks=ExpertHooks(on_analysis=review_analysis, on_design=review_design),
+    )
+    result = system.answer(QUERY)
+    assert result.execution.succeeded, result.execution.error
+
+    print("\nstage trace (expert-reviewed stages marked *):")
+    for trace in result.stage_trace:
+        mark = " *" if trace.expert_reviewed else ""
+        print(f"  {trace.agent}: {trace.artifact_kind}{mark}")
+
+    final = result.execution.outputs["final"]
+    print(f"\n{final['title']}  (context: {final['context']})")
+    for row in final["ranking"][:5]:
+        print(f"  {row['country']}: {row['score']:.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""Quickstart: ask ArachNet a measurement question in plain English.
+
+Builds the synthetic Internet, assembles the four-agent system over the
+default registry, and runs one query end to end — printing the decomposition,
+the designed workflow, the generated code size and the analytical answer.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import ArachNet
+from repro.core.workflow import to_mermaid
+from repro.synth import build_world
+
+QUERY = "Identify the impact at a country level due to SeaMeWe-5 cable failure"
+
+
+def main() -> None:
+    world = build_world()
+    print(f"synthetic Internet: {world.summary()}")
+
+    system = ArachNet.for_world(world)
+    result = system.answer(QUERY)
+
+    print(f"\nquery:  {QUERY}")
+    print(f"intent: {result.analysis.intent} ({result.analysis.complexity.value})")
+    print("\nsub-problems:")
+    for sp in result.analysis.sub_problems:
+        deps = f" (after {', '.join(sp.depends_on)})" if sp.depends_on else ""
+        print(f"  {sp.id}: {sp.title}{deps}")
+
+    print("\nworkflow:")
+    print(to_mermaid(result.design.chosen))
+    print(f"\ngenerated solution: {result.solution.loc} lines, "
+          f"QA: {', '.join(result.solution.qa_checks)}")
+
+    assert result.execution.succeeded, result.execution.error
+    final = result.execution.outputs["final"]
+    print(f"\n{final['title']}")
+    for row in final["ranking"][:8]:
+        print(f"  {row['country']}: score {row['score']:.4f}")
+
+    print("\nquality report:")
+    for check, outcome in result.execution.quality_report.items():
+        print(f"  {check}: {'pass' if outcome.get('passed') else 'FAIL'}")
+
+
+if __name__ == "__main__":
+    main()

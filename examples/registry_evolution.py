@@ -1,0 +1,42 @@
+"""Registry evolution (paper §3): the curator grows capabilities organically.
+
+Runs the same analysis class repeatedly and shows validation-first gating:
+the reusable composite is promoted exactly once; repeats and failures add
+nothing.
+
+Run:  python examples/registry_evolution.py
+"""
+
+from repro.core import ArachNet, default_registry
+from repro.synth import build_world
+
+QUERY = "Identify the impact at a country level due to SeaMeWe-5 cable failure"
+
+
+def main() -> None:
+    world = build_world()
+    registry = default_registry().subset(frameworks=["nautilus"])
+    print(f"registry starts with {len(registry)} entries: {registry.names()}")
+
+    system = ArachNet.for_world(world, registry=registry)
+    for run in (1, 2):
+        result = system.answer(QUERY)
+        report = result.curator
+        print(f"\nrun {run}:")
+        for candidate in report.candidates:
+            status = ("PROMOTED" if candidate.validated
+                      else f"rejected ({candidate.rejection_reason})")
+            print(f"  candidate {candidate.name}: {status}")
+            print(f"    composed of: {candidate.composed_of}")
+        print(f"  registry size now {len(registry)}")
+
+    promoted = registry.get("composite.cable_country_impact")
+    print("\npromoted entry:")
+    print(f"  name:         {promoted.name}")
+    print(f"  provenance:   {promoted.provenance}")
+    print(f"  capabilities: {list(promoted.capabilities)}")
+    print(f"  summary:      {promoted.summary}")
+
+
+if __name__ == "__main__":
+    main()

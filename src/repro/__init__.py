@@ -1,0 +1,29 @@
+"""ArachNet reproduction: an agentic workflow for Internet measurement research.
+
+Reproduction of Ramanathan et al., "Towards an Agentic Workflow for Internet
+Measurement Research" (HotNets 2025).  The package bundles the four-agent
+workflow-composition system (:mod:`repro.core`) with complete offline
+implementations of every measurement substrate the paper's case studies
+depend on: Nautilus-style cable cartography (:mod:`repro.nautilus`),
+Xaminer-style resilience analysis (:mod:`repro.xaminer`), BGP collection and
+anomaly detection (:mod:`repro.bgp`), traceroute campaigns
+(:mod:`repro.traceroute`), topology/cascade modeling
+(:mod:`repro.topology`), statistics and forensics (:mod:`repro.analysis`),
+and a deterministic synthetic Internet (:mod:`repro.synth`).
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import ArachNet, ExpertHooks, Registry, default_registry
+from repro.synth import SyntheticWorld, WorldConfig, build_world
+
+__all__ = [
+    "ArachNet",
+    "ExpertHooks",
+    "Registry",
+    "default_registry",
+    "SyntheticWorld",
+    "WorldConfig",
+    "build_world",
+    "__version__",
+]

@@ -1,0 +1,86 @@
+"""Evidence synthesis: combining independent analysis strands into a verdict.
+
+The forensic workflow produces three independent strands — statistical
+(latency anomaly), infrastructure (cable suspect ranking) and routing (BGP
+correlation).  Synthesis combines their strengths into a calibrated
+confidence plus a human-readable narrative, mirroring how the paper's case
+study 4 "combines evidence from all three analyses".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EvidenceItem:
+    """One strand of evidence for or against the hypothesis."""
+
+    kind: str  # e.g. "statistical", "infrastructure", "routing"
+    description: str
+    strength: float  # 0..1, how strongly this strand speaks
+    supports: bool  # True = for the hypothesis, False = against
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.strength <= 1.0:
+            raise ValueError("strength must be within [0, 1]")
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "description": self.description,
+            "strength": round(self.strength, 4),
+            "supports": self.supports,
+        }
+
+
+def synthesize_evidence(items: list[EvidenceItem]) -> dict:
+    """Combine evidence strands into a confidence score and verdict.
+
+    Confidence is the mean supporting strength, discounted by the mean
+    contradicting strength, floored at zero.  Independence across strands is
+    rewarded: each distinct *kind* that supports adds a small diversity
+    bonus, because agreement between unrelated methodologies is worth more
+    than repetition within one.
+    """
+    if not items:
+        return {
+            "confidence": 0.0,
+            "verdict": "insufficient_evidence",
+            "supporting": 0,
+            "contradicting": 0,
+            "narrative": "No evidence strands were provided.",
+            "items": [],
+        }
+    supporting = [i for i in items if i.supports]
+    contradicting = [i for i in items if not i.supports]
+    support = sum(i.strength for i in supporting) / len(items)
+    contra = sum(i.strength for i in contradicting) / len(items)
+    distinct_kinds = len({i.kind for i in supporting})
+    diversity_bonus = 0.05 * max(0, distinct_kinds - 1)
+    confidence = max(0.0, min(1.0, support - contra + diversity_bonus))
+
+    if confidence >= 0.7:
+        verdict = "established"
+    elif confidence >= 0.4:
+        verdict = "probable"
+    elif confidence >= 0.15:
+        verdict = "weak"
+    else:
+        verdict = "unsupported"
+
+    lines = [
+        f"{len(supporting)} of {len(items)} evidence strands support the hypothesis "
+        f"across {distinct_kinds} independent methodologies."
+    ]
+    for item in sorted(items, key=lambda i: i.strength, reverse=True):
+        stance = "supports" if item.supports else "contradicts"
+        lines.append(f"- [{item.kind}] {stance} (strength {item.strength:.2f}): {item.description}")
+    return {
+        "confidence": round(confidence, 4),
+        "verdict": verdict,
+        "supporting": len(supporting),
+        "contradicting": len(contradicting),
+        "narrative": "\n".join(lines),
+        "items": [i.to_dict() for i in items],
+    }

@@ -1,0 +1,35 @@
+"""BGP substrate: update streams, RIBs, collectors, anomaly detection.
+
+Replaces RouteViews/RIS feeds with a collector simulation driven by the
+world's policy routing.  Steady state produces low-rate background churn;
+injected incidents (cable failures) trigger the withdrawal bursts, path
+exploration and re-convergence that the forensic case study correlates with
+latency anomalies.
+"""
+
+from repro.bgp.messages import BGPUpdate, RouteRecord, UpdateKind
+from repro.bgp.rib import RoutingTable
+from repro.bgp.collector import BGPCollectorSim, CollectorConfig
+from repro.bgp.anomaly import RoutingAnomaly, detect_update_anomalies, update_rate_series
+from repro.bgp.api import (
+    correlate_updates_with_window,
+    detect_routing_anomalies,
+    fetch_updates,
+    summarize_path_changes,
+)
+
+__all__ = [
+    "BGPUpdate",
+    "RouteRecord",
+    "UpdateKind",
+    "RoutingTable",
+    "BGPCollectorSim",
+    "CollectorConfig",
+    "RoutingAnomaly",
+    "detect_update_anomalies",
+    "update_rate_series",
+    "correlate_updates_with_window",
+    "detect_routing_anomalies",
+    "fetch_updates",
+    "summarize_path_changes",
+]

@@ -1,0 +1,105 @@
+"""Routing anomaly detection over update streams.
+
+Bins updates into fixed windows and flags bins whose volume is a robust
+outlier (median/MAD z-score).  Withdrawal-heavy bins get an extra severity
+bump — mass withdrawals are the classic infrastructure-failure signature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bgp.messages import BGPUpdate, UpdateKind
+
+
+@dataclass(frozen=True)
+class RoutingAnomaly:
+    """One anomalous time bin in the update stream."""
+
+    window_start: float
+    window_end: float
+    update_count: int
+    withdrawal_count: int
+    zscore: float
+    prefixes: tuple[str, ...]
+
+    @property
+    def withdrawal_fraction(self) -> float:
+        return self.withdrawal_count / self.update_count if self.update_count else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "window_start": self.window_start,
+            "window_end": self.window_end,
+            "update_count": self.update_count,
+            "withdrawal_count": self.withdrawal_count,
+            "zscore": round(self.zscore, 3),
+            "withdrawal_fraction": round(self.withdrawal_fraction, 4),
+            "prefixes": list(self.prefixes[:50]),
+        }
+
+
+def update_rate_series(
+    updates: list[BGPUpdate], window_start: float, window_end: float, bin_seconds: float = 3600.0
+) -> list[dict]:
+    """Binned update volume: ``[{bin_start, count, withdrawals}]``."""
+    if bin_seconds <= 0:
+        raise ValueError("bin_seconds must be positive")
+    n_bins = max(1, int((window_end - window_start) / bin_seconds))
+    bins = [
+        {"bin_start": window_start + i * bin_seconds, "count": 0, "withdrawals": 0}
+        for i in range(n_bins)
+    ]
+    for update in updates:
+        idx = int((update.ts - window_start) / bin_seconds)
+        if update.ts == window_end:
+            idx = n_bins - 1  # the window is closed on the right
+        if 0 <= idx < n_bins:
+            bins[idx]["count"] += 1
+            if update.kind is UpdateKind.WITHDRAW:
+                bins[idx]["withdrawals"] += 1
+    return bins
+
+
+def _robust_zscores(counts: list[int]) -> list[float]:
+    ordered = sorted(counts)
+    n = len(ordered)
+    median = ordered[n // 2] if n % 2 == 1 else (ordered[n // 2 - 1] + ordered[n // 2]) / 2.0
+    deviations = sorted(abs(c - median) for c in counts)
+    mad = deviations[n // 2] if n % 2 == 1 else (deviations[n // 2 - 1] + deviations[n // 2]) / 2.0
+    scale = 1.4826 * mad if mad > 0 else 1.0
+    return [(c - median) / scale for c in counts]
+
+
+def detect_update_anomalies(
+    updates: list[BGPUpdate],
+    window_start: float,
+    window_end: float,
+    bin_seconds: float = 3600.0,
+    z_threshold: float = 3.0,
+) -> list[RoutingAnomaly]:
+    """Anomalous bins in the update stream, most severe first."""
+    bins = update_rate_series(updates, window_start, window_end, bin_seconds)
+    if not bins:
+        return []
+    zscores = _robust_zscores([b["count"] for b in bins])
+    anomalies: list[RoutingAnomaly] = []
+    for b, z in zip(bins, zscores):
+        if z < z_threshold:
+            continue
+        lo, hi = b["bin_start"], b["bin_start"] + bin_seconds
+        touched = tuple(
+            sorted({u.prefix for u in updates if lo <= u.ts < hi})
+        )
+        anomalies.append(
+            RoutingAnomaly(
+                window_start=lo,
+                window_end=hi,
+                update_count=b["count"],
+                withdrawal_count=b["withdrawals"],
+                zscore=z,
+                prefixes=touched,
+            )
+        )
+    anomalies.sort(key=lambda a: a.zscore, reverse=True)
+    return anomalies

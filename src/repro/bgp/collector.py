@@ -1,0 +1,198 @@
+"""BGP collector simulation: steady-state churn plus incident dynamics.
+
+The simulator stands in for RouteViews/RIS.  Vantage points (peers) are
+transit ASes; for every (peer, prefix) pair the baseline route is the
+valley-free path from peer to origin.  Background churn emits low-rate
+flaps.  When an incident kills a cable, every route whose path crossed a
+severed adjacency re-converges: withdrawn if no policy path survives,
+re-announced with the new (usually longer) path otherwise, spread over a
+convergence window with optional path exploration — the update-burst
+signature the forensic workflow hunts for.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.bgp.messages import BGPUpdate, UpdateKind
+from repro.topology.relations import ASGraph, failed_as_pairs
+from repro.topology.routing import ValleyFreeRouter
+from repro.synth.scenarios import LatencyIncident
+from repro.synth.world import SyntheticWorld
+
+
+@dataclass(frozen=True)
+class CollectorConfig:
+    """Collector behaviour knobs."""
+
+    name: str = "rrc-sim"
+    peer_count: int = 8
+    churn_per_hour: float = 12.0
+    convergence_window_s: float = 300.0
+    exploration_prob: float = 0.3
+    seed: int = 11
+
+
+@dataclass(frozen=True)
+class CableIncident:
+    """A cable failure visible to the routing system."""
+
+    cable_name: str
+    onset: float
+
+    @classmethod
+    def coerce(cls, item: "CableIncident | LatencyIncident | dict") -> "CableIncident":
+        if isinstance(item, CableIncident):
+            return item
+        if isinstance(item, LatencyIncident):
+            return cls(cable_name=item.cable_name, onset=item.onset)
+        return cls(cable_name=item["cable_name"], onset=float(item["onset"]))
+
+
+@dataclass
+class BGPCollectorSim:
+    """Generates update streams for a time window."""
+
+    world: SyntheticWorld
+    config: CollectorConfig = field(default_factory=CollectorConfig)
+
+    def __post_init__(self) -> None:
+        self._graph = ASGraph.from_world(self.world)
+        self._peers = self._select_peers()
+
+    def _select_peers(self) -> list[int]:
+        """Deterministic vantage points: tier-1s first, then tier-2s."""
+        tier1 = sorted(a.asn for a in self.world.ases.values() if a.tier == 1)
+        tier2 = sorted(a.asn for a in self.world.ases.values() if a.tier == 2)
+        return (tier1 + tier2)[: self.config.peer_count]
+
+    @property
+    def peers(self) -> list[int]:
+        return list(self._peers)
+
+    def baseline_routes(self) -> dict[tuple[int, str], tuple[int, ...]]:
+        """(peer, prefix) → AS path at steady state."""
+        router = ValleyFreeRouter(self._graph)
+        routes: dict[tuple[int, str], tuple[int, ...]] = {}
+        for peer in self._peers:
+            paths = router.paths_from(peer)
+            for prefix in self.world.all_prefixes():
+                path = paths.get(prefix.asn)
+                if path is not None:
+                    routes[(peer, prefix.cidr)] = path
+        return routes
+
+    def generate_updates(
+        self,
+        window_start: float,
+        window_end: float,
+        incidents: list[CableIncident | LatencyIncident | dict] | None = None,
+    ) -> list[BGPUpdate]:
+        """The update stream a collector records over the window."""
+        if window_end <= window_start:
+            raise ValueError("window_end must be after window_start")
+        rng = random.Random(self.config.seed)
+        updates: list[BGPUpdate] = []
+        updates.extend(self._background_churn(rng, window_start, window_end))
+        failed_links: set[str] = set()
+        for item in sorted(
+            (CableIncident.coerce(i) for i in (incidents or [])), key=lambda c: c.onset
+        ):
+            if not window_start <= item.onset <= window_end:
+                continue
+            cable = self.world.cable_named(item.cable_name)
+            failed_links |= {link.id for link in self.world.links_on_cable(cable.id)}
+            updates.extend(
+                self._incident_burst(rng, item.onset, failed_links, window_end)
+            )
+        updates.sort(key=lambda u: (u.ts, u.peer_asn, u.prefix, u.kind.value))
+        return updates
+
+    # -- internals -----------------------------------------------------------
+
+    def _background_churn(
+        self, rng: random.Random, start: float, end: float
+    ) -> list[BGPUpdate]:
+        """Low-rate flaps of random prefixes, uniform over the window."""
+        duration_h = (end - start) / 3600.0
+        count = max(0, int(round(self.config.churn_per_hour * duration_h)))
+        baseline = self.baseline_routes()
+        keys = sorted(baseline.keys())
+        updates: list[BGPUpdate] = []
+        if not keys:
+            return updates
+        for _ in range(count):
+            peer, prefix = keys[rng.randrange(len(keys))]
+            ts = rng.uniform(start, end)
+            path = baseline[(peer, prefix)]
+            if rng.random() < 0.5:
+                # A quick flap: withdraw then re-announce the same route.
+                updates.append(
+                    BGPUpdate(ts, self.config.name, peer, UpdateKind.WITHDRAW, prefix)
+                )
+                updates.append(
+                    BGPUpdate(
+                        min(end, ts + rng.uniform(5.0, 60.0)),
+                        self.config.name,
+                        peer,
+                        UpdateKind.ANNOUNCE,
+                        prefix,
+                        path,
+                    )
+                )
+            else:
+                updates.append(
+                    BGPUpdate(ts, self.config.name, peer, UpdateKind.ANNOUNCE, prefix, path)
+                )
+        return updates
+
+    def _incident_burst(
+        self,
+        rng: random.Random,
+        onset: float,
+        failed_links: set[str],
+        window_end: float,
+    ) -> list[BGPUpdate]:
+        """Re-convergence burst after the given link set dies."""
+        dead_pairs = failed_as_pairs(self.world, sorted(failed_links))
+        if not dead_pairs:
+            return []
+        pruned = self._graph.without_pairs(dead_pairs)
+        router_after = ValleyFreeRouter(pruned)
+        baseline = self.baseline_routes()
+
+        updates: list[BGPUpdate] = []
+        for (peer, prefix), old_path in sorted(baseline.items()):
+            crossed = any(
+                (min(a, b), max(a, b)) in dead_pairs for a, b in zip(old_path, old_path[1:])
+            )
+            if not crossed:
+                continue
+            origin = old_path[-1]
+            new_paths = router_after.paths_from(peer)
+            new_path = new_paths.get(origin)
+            ts = min(window_end, onset + rng.uniform(1.0, self.config.convergence_window_s))
+            if new_path is None:
+                updates.append(
+                    BGPUpdate(ts, self.config.name, peer, UpdateKind.WITHDRAW, prefix)
+                )
+                continue
+            if rng.random() < self.config.exploration_prob and len(new_path) >= 2:
+                # Path exploration: briefly announce a detour one hop longer.
+                explore_ts = min(window_end, onset + rng.uniform(1.0, 60.0))
+                padded = new_path[:1] + new_path[1:2] + new_path[1:]
+                updates.append(
+                    BGPUpdate(
+                        explore_ts,
+                        self.config.name,
+                        peer,
+                        UpdateKind.ANNOUNCE,
+                        prefix,
+                        padded,
+                    )
+                )
+            updates.append(
+                BGPUpdate(ts, self.config.name, peer, UpdateKind.ANNOUNCE, prefix, new_path)
+            )
+        return updates

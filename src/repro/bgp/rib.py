@@ -1,0 +1,90 @@
+"""Routing-table reconstruction from update streams."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bgp.messages import BGPUpdate, RouteRecord, UpdateKind
+
+
+@dataclass
+class RoutingTable:
+    """Per-(peer, prefix) routing state rebuilt by replaying updates."""
+
+    collector: str
+    routes: dict[tuple[int, str], RouteRecord] = field(default_factory=dict)
+    last_ts: float = 0.0
+
+    def apply(self, update: BGPUpdate) -> None:
+        """Apply one update (must belong to this collector)."""
+        if update.collector != self.collector:
+            raise ValueError(
+                f"update for collector {update.collector!r} applied to {self.collector!r}"
+            )
+        if update.ts < self.last_ts:
+            raise ValueError("updates must be applied in timestamp order")
+        self.last_ts = update.ts
+        key = (update.peer_asn, update.prefix)
+        if update.kind is UpdateKind.WITHDRAW:
+            self.routes.pop(key, None)
+        else:
+            self.routes[key] = RouteRecord(
+                collector=self.collector,
+                peer_asn=update.peer_asn,
+                prefix=update.prefix,
+                as_path=update.as_path,
+                ts=update.ts,
+            )
+
+    def apply_all(self, updates: list[BGPUpdate]) -> None:
+        for update in sorted(updates, key=lambda u: u.ts):
+            self.apply(update)
+
+    def best_route(self, prefix: str) -> RouteRecord | None:
+        """Best route across peers: shortest AS path, then lowest peer ASN."""
+        candidates = [
+            record for (peer, pfx), record in self.routes.items() if pfx == prefix
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda r: (len(r.as_path), r.peer_asn))
+
+    def prefixes(self) -> set[str]:
+        return {prefix for _, prefix in self.routes.keys()}
+
+    def routes_for_prefix(self, prefix: str) -> list[RouteRecord]:
+        return [r for (peer, pfx), r in sorted(self.routes.items()) if pfx == prefix]
+
+    def diff(self, other: "RoutingTable") -> dict:
+        """Route changes from ``self`` (before) to ``other`` (after).
+
+        Returns prefixes lost entirely, prefixes whose best path changed, and
+        the mean path-length delta over changed prefixes.
+        """
+        lost: list[str] = []
+        changed: list[dict] = []
+        deltas: list[int] = []
+        for prefix in sorted(self.prefixes()):
+            before = self.best_route(prefix)
+            after = other.best_route(prefix)
+            if before is None:
+                continue
+            if after is None:
+                lost.append(prefix)
+                continue
+            if before.as_path != after.as_path:
+                delta = len(after.as_path) - len(before.as_path)
+                deltas.append(delta)
+                changed.append(
+                    {
+                        "prefix": prefix,
+                        "before": list(before.as_path),
+                        "after": list(after.as_path),
+                        "length_delta": delta,
+                    }
+                )
+        return {
+            "lost_prefixes": lost,
+            "changed_paths": changed,
+            "mean_length_delta": (sum(deltas) / len(deltas)) if deltas else 0.0,
+        }

@@ -1,0 +1,105 @@
+"""Command-line interface: ask ArachNet a question from the shell.
+
+Usage::
+
+    python -m repro "Identify the impact at a country level due to \\
+        SeaMeWe-5 cable failure"
+    python -m repro --list-cables
+    python -m repro --frameworks nautilus "…"        # restrict the registry
+    python -m repro --incident SeaMeWe-5 "…latency…" # inject ground truth
+    python -m repro --json "…"                        # machine-readable output
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.core.pipeline import ArachNet
+from repro.core.registry import default_registry
+from repro.synth.scenarios import make_latency_incident
+from repro.synth.world import WorldConfig, build_world
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ArachNet: agentic Internet measurement workflows",
+    )
+    parser.add_argument("query", nargs="?", help="natural-language measurement question")
+    parser.add_argument("--seed", type=int, default=7, help="world seed (default 7)")
+    parser.add_argument(
+        "--frameworks",
+        help="comma-separated registry restriction (e.g. 'nautilus')",
+    )
+    parser.add_argument(
+        "--incident",
+        metavar="CABLE",
+        help="inject a hidden cable failure three days before 'now'",
+    )
+    parser.add_argument("--json", action="store_true", help="emit the full result as JSON")
+    parser.add_argument("--show-code", action="store_true",
+                        help="print the generated Python solution")
+    parser.add_argument("--list-cables", action="store_true",
+                        help="list known cables and exit")
+    parser.add_argument("--no-curate", action="store_true",
+                        help="skip the RegistryCurator stage")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    world = build_world(WorldConfig(seed=args.seed))
+
+    if args.list_cables:
+        for name in world.cable_names():
+            cable = world.cable_named(name)
+            countries = "-".join(cable.country_codes(world.landing_points))
+            print(f"{name:<18} {cable.capacity_tbps:>6.1f} Tbps  {countries}")
+        return 0
+
+    if not args.query:
+        print("error: a query is required (or use --list-cables)", file=sys.stderr)
+        return 2
+
+    registry = default_registry()
+    if args.frameworks:
+        registry = registry.subset(frameworks=args.frameworks.split(","))
+
+    incidents = []
+    if args.incident:
+        incidents.append(make_latency_incident(world, args.incident))
+
+    system = ArachNet.for_world(
+        world, registry=registry, incidents=incidents, curate=not args.no_curate
+    )
+    result = system.answer(args.query)
+
+    if args.json:
+        payload = result.to_dict()
+        if not args.show_code:
+            payload["solution"]["source_code"] = (
+                f"<{result.solution.loc} lines; rerun with --show-code>"
+            )
+        print(json.dumps(payload, indent=1, default=str))
+        return 0 if result.execution.succeeded else 1
+
+    print(f"intent:     {result.analysis.intent}")
+    print(f"workflow:   {[s.target for s in result.design.chosen.steps]}")
+    print(f"generated:  {result.solution.loc} lines "
+          f"(QA: {', '.join(result.solution.qa_checks)})")
+    if args.show_code:
+        print("\n" + result.solution.source_code)
+    if not result.execution.succeeded:
+        print(f"\nexecution FAILED:\n{result.execution.error}", file=sys.stderr)
+        return 1
+    print("\nanswer:")
+    print(json.dumps(result.execution.outputs["final"], indent=1, default=str)[:4000])
+    if result.curator and result.curator.added_entries:
+        print(f"\ncurator promoted: {result.curator.added_entries}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,16 @@
+"""The four ArachNet agents (Figure 1 of the paper)."""
+
+from repro.core.agents.base import Agent, AgentError
+from repro.core.agents.querymind import QueryMind
+from repro.core.agents.workflowscout import WorkflowScout
+from repro.core.agents.solutionweaver import SolutionWeaver
+from repro.core.agents.registrycurator import RegistryCurator
+
+__all__ = [
+    "Agent",
+    "AgentError",
+    "QueryMind",
+    "WorkflowScout",
+    "SolutionWeaver",
+    "RegistryCurator",
+]

@@ -1,0 +1,36 @@
+"""Common agent machinery: prompt → completion → validated artifact."""
+
+from __future__ import annotations
+
+from repro.core.llm.client import LLMClient, LLMRequest, complete_json
+from repro.core.registry import Registry
+
+
+class AgentError(RuntimeError):
+    """An agent could not produce a valid artifact."""
+
+
+class Agent:
+    """Base class wiring an LLM client to prompt/parse plumbing."""
+
+    name = "agent"
+    system_prompt = ""
+
+    def __init__(self, llm: LLMClient, registry: Registry, max_attempts: int = 3):
+        self._llm = llm
+        self._registry = registry
+        self._max_attempts = max_attempts
+
+    @property
+    def registry(self) -> Registry:
+        return self._registry
+
+    def _ask(self, user_prompt: str, validator=None) -> dict | list:
+        """One validated JSON round trip to the backend."""
+        request = LLMRequest(agent=self.name, system=self.system_prompt, user=user_prompt)
+        try:
+            return complete_json(
+                self._llm, request, validator=validator, max_attempts=self._max_attempts
+            )
+        except Exception as exc:
+            raise AgentError(f"{self.name} failed: {exc}") from exc

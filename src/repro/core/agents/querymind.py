@@ -1,0 +1,64 @@
+"""QueryMind: problem analysis and decomposition (§3 of the paper)."""
+
+from __future__ import annotations
+
+from repro.core.agents.base import Agent
+from repro.core.artifacts import (
+    Complexity,
+    Constraint,
+    ProblemAnalysis,
+    Risk,
+    SubProblem,
+    SuccessCriterion,
+)
+from repro.core.llm.prompts import QUERYMIND_SYSTEM, querymind_prompt
+
+
+def _validate_payload(payload) -> None:
+    if not isinstance(payload, dict):
+        raise ValueError("QueryMind output must be a JSON object")
+    for key in ("intent", "sub_problems", "constraints", "success_criteria"):
+        if key not in payload:
+            raise ValueError(f"QueryMind output missing {key!r}")
+    if not payload["sub_problems"]:
+        raise ValueError("decomposition produced no sub-problems")
+    ids = [sp.get("id") for sp in payload["sub_problems"]]
+    if len(ids) != len(set(ids)):
+        raise ValueError("sub-problem ids are not unique")
+    known = set(ids)
+    for sp in payload["sub_problems"]:
+        for dep in sp.get("depends_on", []):
+            if dep not in known:
+                raise ValueError(f"sub-problem {sp['id']} depends on unknown {dep!r}")
+
+
+class QueryMind(Agent):
+    """Transforms a natural-language query into a :class:`ProblemAnalysis`."""
+
+    name = "querymind"
+    system_prompt = QUERYMIND_SYSTEM
+
+    def analyze(self, query: str, data_context: dict) -> ProblemAnalysis:
+        """Run problem analysis for one query.
+
+        ``data_context`` grounds entity extraction: known cable names, region
+        vocabulary, the country→region map.  It describes the measurement
+        domain, never the answer.
+        """
+        if not query.strip():
+            raise ValueError("empty query")
+        prompt = querymind_prompt(query, self._registry.to_prompt_text(), data_context)
+        payload = self._ask(prompt, validator=_validate_payload)
+        return ProblemAnalysis(
+            query=query,
+            intent=payload["intent"],
+            entities=dict(payload.get("entities", {})),
+            complexity=Complexity(payload.get("complexity", "moderate")),
+            classification=dict(payload.get("classification", {})),
+            sub_problems=[SubProblem.from_dict(r) for r in payload["sub_problems"]],
+            constraints=[Constraint.from_dict(r) for r in payload["constraints"]],
+            risks=[Risk.from_dict(r) for r in payload.get("risks", [])],
+            success_criteria=[
+                SuccessCriterion.from_dict(r) for r in payload["success_criteria"]
+            ],
+        )

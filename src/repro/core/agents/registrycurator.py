@@ -1,0 +1,104 @@
+"""RegistryCurator: validation-first registry evolution."""
+
+from __future__ import annotations
+
+from repro.core.agents.base import Agent
+from repro.core.artifacts import (
+    CuratorCandidate,
+    CuratorReport,
+    ExecutionOutcome,
+    WorkflowDesign,
+)
+from repro.core.llm.prompts import REGISTRYCURATOR_SYSTEM, registrycurator_prompt
+from repro.core.registry import Registry, RegistryEntry
+
+
+def _validate_payload(payload) -> None:
+    if not isinstance(payload, dict) or "candidates" not in payload:
+        raise ValueError("curator output must contain 'candidates'")
+    for candidate in payload["candidates"]:
+        for key in ("name", "summary", "capabilities", "composed_of"):
+            if key not in candidate:
+                raise ValueError(f"candidate missing {key!r}")
+
+
+class RegistryCurator(Agent):
+    """Promotes validated composition patterns into the registry."""
+
+    name = "registrycurator"
+    system_prompt = REGISTRYCURATOR_SYSTEM
+
+    def curate(
+        self,
+        design: WorkflowDesign,
+        execution: ExecutionOutcome,
+        registry: Registry,
+    ) -> CuratorReport:
+        """Extract candidates, validate each, and add survivors to the registry.
+
+        Validation-first gating (§3): a pattern is added only when (a) the
+        execution that exhibited it succeeded, (b) every composed step exists
+        in the executed workflow, and (c) no existing entry already covers
+        its name or exact composition.  Everything else is recorded as
+        rejected, with the reason.
+        """
+        prompt = registrycurator_prompt(
+            design.to_dict(),
+            {"succeeded": execution.succeeded, "error": execution.error,
+             "quality_report": execution.quality_report},
+            registry.to_prompt_text(),
+        )
+        payload = self._ask(prompt, validator=_validate_payload)
+
+        report = CuratorReport()
+        workflow_targets = {step.target for step in design.chosen.steps}
+        for row in payload["candidates"]:
+            candidate = CuratorCandidate(
+                name=row["name"],
+                summary=row["summary"],
+                capabilities=list(row["capabilities"]),
+                composed_of=list(row["composed_of"]),
+            )
+            if not execution.succeeded:
+                candidate.rejection_reason = "source execution did not succeed"
+            elif not set(candidate.composed_of).issubset(workflow_targets):
+                candidate.rejection_reason = "composition references steps absent from the workflow"
+            elif candidate.name in registry:
+                candidate.rejection_reason = "an entry with this name already exists"
+            elif self._composition_exists(registry, candidate):
+                candidate.rejection_reason = "an equivalent composition is already registered"
+            else:
+                candidate.validated = True
+                registry.add(self._to_entry(candidate))
+                report.added_entries.append(candidate.name)
+            report.candidates.append(candidate)
+        return report
+
+    @staticmethod
+    def _composition_exists(registry: Registry, candidate: CuratorCandidate) -> bool:
+        composition = ",".join(candidate.composed_of)
+        for entry in registry.entries.values():
+            if entry.provenance != "curator":
+                continue
+            recorded = next(
+                (c.split("=", 1)[1] for c in entry.constraints if c.startswith("composed_of=")),
+                None,
+            )
+            if recorded == composition:
+                return True
+        return False
+
+    @staticmethod
+    def _to_entry(candidate: CuratorCandidate) -> RegistryEntry:
+        return RegistryEntry(
+            name=candidate.name,
+            framework=candidate.name.split(".", 1)[0],
+            summary=candidate.summary,
+            capabilities=tuple(candidate.capabilities),
+            inputs=(("params", "dict of workflow parameters"),),
+            outputs=(("report", "composite analysis output"),),
+            constraints=("composed_of=" + ",".join(candidate.composed_of),),
+            cost_hint="moderate",
+            callable_ref="repro.core.catalog:composite_placeholder",
+            provenance="curator",
+        )

@@ -1,0 +1,68 @@
+"""WorkflowScout: solution-space exploration and workflow design."""
+
+from __future__ import annotations
+
+from repro.core.agents.base import Agent, AgentError
+from repro.core.artifacts import CandidateWorkflow, ProblemAnalysis, WorkflowDesign
+from repro.core.codegen import TRANSFORM_TEMPLATES
+from repro.core.llm.prompts import WORKFLOWSCOUT_SYSTEM, workflowscout_prompt
+from repro.core.workflow import validate_workflow
+
+
+def _validate_payload(payload) -> None:
+    if not isinstance(payload, dict):
+        raise ValueError("WorkflowScout output must be a JSON object")
+    workflow = payload.get("workflow") or {}
+    steps = workflow.get("steps") or []
+    if not steps:
+        raise ValueError("design contains no steps")
+    for step in steps:
+        for key in ("id", "step_type", "target"):
+            if key not in step:
+                raise ValueError(f"step missing {key!r}: {step}")
+    if payload.get("exploration_mode") not in ("direct", "comparative"):
+        raise ValueError("exploration_mode must be direct or comparative")
+
+
+class WorkflowScout(Agent):
+    """Converts a :class:`ProblemAnalysis` into a :class:`WorkflowDesign`."""
+
+    name = "workflowscout"
+    system_prompt = WORKFLOWSCOUT_SYSTEM
+
+    def design(self, analysis: ProblemAnalysis) -> WorkflowDesign:
+        blocking = analysis.blocking_constraints()
+        if blocking:
+            raise AgentError(
+                "cannot design a workflow under blocking constraints: "
+                + "; ".join(c.description for c in blocking)
+            )
+        prompt = workflowscout_prompt(analysis.to_dict(), self._registry.to_prompt_text())
+        payload = self._ask(prompt, validator=_validate_payload)
+
+        chosen = CandidateWorkflow.from_dict(
+            {
+                "steps": payload["workflow"]["steps"],
+                "rationale": payload.get("rationale", ""),
+                "tradeoffs": payload.get("tradeoffs", {}),
+            }
+        )
+        design = WorkflowDesign(
+            chosen=chosen,
+            exploration_mode=payload["exploration_mode"],
+            alternatives=[
+                CandidateWorkflow.from_dict(alt) for alt in payload.get("alternatives", [])
+            ],
+            workflow_inputs=dict(payload.get("workflow_inputs", {})),
+            param_defaults=dict(payload.get("param_defaults", {})),
+        )
+        # Structural validation is the scout's own responsibility: a design
+        # that references unknown tools or has cycles must never reach the
+        # implementation stage.
+        validate_workflow(
+            design.chosen,
+            design.workflow_inputs,
+            registry_names=set(self._registry.names()),
+            transform_names=set(TRANSFORM_TEMPLATES.keys()),
+        )
+        return design

@@ -1,0 +1,1025 @@
+"""The measurement-expertise knowledge base behind the simulated LLM.
+
+The paper's prompt engineering "embedded the generalized reasoning a human
+expert would naturally apply" (§4).  This module *is* that embedded
+reasoning, written as deterministic rules: intent recognition, entity
+grounding, per-intent problem decomposition, and per-intent workflow design
+over whatever registry happens to be available.  The design functions
+degrade gracefully: when a preferred capability is missing (as in case
+study 1, where Xaminer is withheld) they fall back to composing the analysis
+from lower-level functions plus inline transforms — the "direct processing
+pipeline" behaviour the paper reports.
+"""
+
+from __future__ import annotations
+
+import re
+
+# ---------------------------------------------------------------------------
+# Intent recognition
+# ---------------------------------------------------------------------------
+
+INTENTS = (
+    "cascading_failure",
+    "latency_forensics",
+    "multi_disaster_impact",
+    "cable_failure_impact",
+    "risk_assessment",
+    "generic_impact",
+)
+
+_INTENT_RULES: tuple[tuple[str, tuple[str, ...]], ...] = (
+    ("cascading_failure", (r"cascad", r"knock[- ]on", r"ripple effect")),
+    (
+        "latency_forensics",
+        (
+            r"latency .*(increase|spike|jump|anomal)",
+            r"(increase|spike) in latency",
+            r"root cause",
+            r"caused this",
+            r"determine if .* caused",
+            r"identify the specific",
+        ),
+    ),
+    (
+        "multi_disaster_impact",
+        (
+            r"earthquake.*hurricane",
+            r"hurricane.*earthquake",
+            r"(severe|major) (disasters|events)",
+            r"natural disaster",
+        ),
+    ),
+    (
+        "risk_assessment",
+        (r"\brisk\b", r"how exposed", r"dependenc(y|e) profile", r"single point of failure"),
+    ),
+    (
+        "cable_failure_impact",
+        (
+            r"cable (failure|cut|fault|break)",
+            r"impact .*cable",
+            r"losing .*cable",
+            r"cable .*(outage|down)",
+        ),
+    ),
+)
+
+
+def detect_intent(query: str) -> str:
+    """Classify a query into one of the known intents (rule order matters)."""
+    lowered = query.lower()
+    for intent, patterns in _INTENT_RULES:
+        for pattern in patterns:
+            if re.search(pattern, lowered):
+                return intent
+    return "generic_impact"
+
+
+# ---------------------------------------------------------------------------
+# Entity extraction
+# ---------------------------------------------------------------------------
+
+_WORD_NUMBERS = {
+    "one": 1, "two": 2, "three": 3, "four": 4, "five": 5,
+    "six": 6, "seven": 7, "eight": 8, "nine": 9, "ten": 10,
+}
+
+_REGION_WORDS = {
+    "europe": "europe",
+    "european": "europe",
+    "asia": "asia",
+    "asian": "asia",
+    "middle east": "middle_east",
+    "africa": "africa",
+    "african": "africa",
+    "north america": "north_america",
+    "american": "north_america",
+    "south america": "south_america",
+    "oceania": "oceania",
+}
+
+
+def extract_entities(query: str, data_context: dict) -> dict:
+    """Ground query phrases against the deployment's known-world facts.
+
+    ``data_context`` carries the grounding material: known cable names,
+    region names and the country→region map.  Extraction is conservative —
+    only names that actually exist in the context are emitted.
+    """
+    lowered = query.lower()
+    entities: dict = {}
+
+    known_cables = data_context.get("cable_names", [])
+    mentioned = [name for name in known_cables if name.lower() in lowered]
+    if mentioned:
+        entities["cable_names"] = mentioned
+
+    regions: list[str] = []
+    for phrase, region in _REGION_WORDS.items():
+        if phrase in lowered and region not in regions:
+            regions.append(region)
+    if regions:
+        entities["regions"] = regions
+
+    pct = re.search(r"(\d+(?:\.\d+)?)\s*%", lowered)
+    if pct:
+        entities["failure_probability"] = float(pct.group(1)) / 100.0
+
+    days_ago = re.search(r"(\w+)\s+days?\s+ago", lowered)
+    if days_ago:
+        token = days_ago.group(1)
+        days = _WORD_NUMBERS.get(token)
+        if days is None and token.isdigit():
+            days = int(token)
+        if days is not None:
+            entities["days_since_onset"] = days
+
+    kinds = []
+    if "earthquake" in lowered:
+        kinds.append("earthquake")
+    if "hurricane" in lowered or "typhoon" in lowered:
+        kinds.append("hurricane")
+    if kinds:
+        entities["disaster_kinds"] = kinds
+
+    if "severe" in lowered or "major" in lowered:
+        entities["severity_filter"] = "severe"
+
+    if "country level" in lowered or "country-level" in lowered or "per country" in lowered:
+        entities["aggregation_level"] = "country"
+    elif re.search(r"\bas[- ]level\b", lowered) or "autonomous system" in lowered:
+        entities["aggregation_level"] = "as"
+
+    if "global" in lowered or "worldwide" in lowered:
+        entities["scope"] = "global"
+
+    if "region_country_map" in data_context:
+        entities["region_country_map"] = data_context["region_country_map"]
+    return entities
+
+
+# ---------------------------------------------------------------------------
+# Decomposition templates
+# ---------------------------------------------------------------------------
+
+
+def _sp(sp_id, title, description, kind, capabilities, depends_on=()):
+    return {
+        "id": sp_id,
+        "title": title,
+        "description": description,
+        "kind": kind,
+        "required_capabilities": list(capabilities),
+        "depends_on": list(depends_on),
+    }
+
+
+def _constraint(kind, description, blocking=False):
+    return {"kind": kind, "description": description, "blocking": blocking}
+
+
+def _risk(description, likelihood="medium", mitigation=""):
+    return {"description": description, "likelihood": likelihood, "mitigation": mitigation}
+
+
+def _criterion(description, metric=""):
+    return {"description": description, "metric": metric}
+
+
+def decompose(intent: str, query: str, entities: dict, registry_index: dict) -> dict:
+    """Build the full QueryMind output payload for one query."""
+    builder = _DECOMPOSERS.get(intent, _decompose_generic)
+    payload = builder(query, entities, registry_index)
+    payload["intent"] = intent
+    payload["entities"] = entities
+    return payload
+
+
+def _availability_constraints(registry_index: dict, wanted_tags: list[str]) -> list[dict]:
+    """Flag capability gaps the registry cannot cover."""
+    have: set[str] = set()
+    for entry in registry_index.values():
+        have.update(entry.get("capabilities", []))
+    constraints = []
+    for tag in wanted_tags:
+        if tag not in have:
+            constraints.append(
+                _constraint(
+                    "technical",
+                    f"no registry function provides capability {tag!r}; "
+                    "the workflow must derive it from lower-level functions",
+                )
+            )
+    return constraints
+
+
+def _decompose_cable_failure(query: str, entities: dict, registry_index: dict) -> dict:
+    cable = (entities.get("cable_names") or ["<unspecified>"])[0]
+    level = entities.get("aggregation_level", "country")
+    sub_problems = [
+        _sp(
+            "sp1",
+            "Resolve cable and its dependency set",
+            f"Identify {cable}, the IP links riding it, affected addresses and ASes.",
+            "mapping",
+            ["cable_dependencies", "cross_layer_mapping"],
+        ),
+        _sp(
+            "sp2",
+            "Geolocate affected infrastructure",
+            "Map affected IPs and links to countries for spatial attribution.",
+            "mapping",
+            ["geolocation", "geographic_mapping"],
+            depends_on=["sp1"],
+        ),
+        _sp(
+            "sp3",
+            f"Aggregate impact at {level} level",
+            f"Compute per-{level} impact metrics (IPs, links, ASes, capacity).",
+            "aggregation",
+            ["impact_analysis", f"{level}_aggregation"],
+            depends_on=["sp1", "sp2"],
+        ),
+        _sp(
+            "sp4",
+            "Assemble impact report",
+            "Ranked impacts with per-metric breakdowns and caveats.",
+            "synthesis",
+            ["report_combination"],
+            depends_on=["sp3"],
+        ),
+    ]
+    constraints = [
+        _constraint("data", "cross-layer mapping confidence is probabilistic; "
+                            "parallel cable systems can be ambiguous"),
+        _constraint(
+            "methodological",
+            "impact counts double-attribute links touching two countries; "
+            "normalised fractions avoid inflating small countries",
+        ),
+    ]
+    constraints += _availability_constraints(
+        registry_index, ["impact_analysis", "country_aggregation"]
+    )
+    if not entities.get("cable_names"):
+        constraints.append(
+            _constraint("data", "query names no cable known to the registry", blocking=True)
+        )
+    risks = [
+        _risk("geolocation noise shifts border-adjacent endpoints between countries",
+              "medium", "carry uncertainty_km into the aggregation and report it"),
+        _risk("dependency extraction over-attributes links on ambiguous corridors",
+              "medium", "use candidate-set membership with a relative-score threshold"),
+    ]
+    criteria = [
+        _criterion("every affected country appears with normalised impact metrics",
+                   "country ranking non-empty and scores within [0,1]"),
+        _criterion("impact derivation is explainable back to specific links",
+                   "link ids traceable from report"),
+    ]
+    return {
+        "complexity": "moderate",
+        "classification": {"spatial": f"{level}-level", "temporal": "static snapshot",
+                           "causal": "single-cause failure"},
+        "sub_problems": sub_problems,
+        "constraints": constraints,
+        "risks": risks,
+        "success_criteria": criteria,
+    }
+
+
+def _decompose_multi_disaster(query: str, entities: dict, registry_index: dict) -> dict:
+    kinds = entities.get("disaster_kinds", ["earthquake", "hurricane"])
+    prob = entities.get("failure_probability", 1.0)
+    sub_problems = [
+        _sp(
+            "sp1",
+            "Enumerate qualifying disaster events",
+            f"Collect {'severe ' if entities.get('severity_filter') else ''}"
+            f"{' and '.join(kinds)} scenarios with footprints.",
+            "catalog",
+            ["disaster_catalog"],
+        ),
+        _sp(
+            "sp2",
+            "Process each event with probabilistic failures",
+            f"Apply failure probability {prob} per event footprint; compute impact.",
+            "impact",
+            ["event_processing", "failure_simulation", "impact_analysis"],
+            depends_on=["sp1"],
+        ),
+        _sp(
+            "sp3",
+            "Combine per-event results into global metrics",
+            "Merge rankings and failure sets across all events and kinds.",
+            "synthesis",
+            ["report_combination"],
+            depends_on=["sp2"],
+        ),
+    ]
+    constraints = [
+        _constraint("methodological",
+                    "events are processed independently; compound (overlapping) "
+                    "footprints are combined additively"),
+        _constraint("technical",
+                    "the event-processing function takes one event per call; "
+                    "multi-event analysis iterates rather than integrating new frameworks"),
+    ]
+    risks = [
+        _risk("sampled failures under-represent tail outcomes at low probability",
+              "medium", "fix seeds per event and report per-event failure draws"),
+        _risk("over-engineering: pulling in extra frameworks adds integration "
+              "surface without improving the estimate", "low",
+              "scope the solution to the single versatile function"),
+    ]
+    criteria = [
+        _criterion("every severe event contributes a processed impact report",
+                   "reports count equals severe event count"),
+        _criterion("global ranking merges all event kinds", "combined ranking present"),
+    ]
+    return {
+        "complexity": "moderate",
+        "classification": {"spatial": "global", "temporal": "scenario sweep",
+                           "causal": "independent multi-cause"},
+        "sub_problems": sub_problems,
+        "constraints": constraints,
+        "risks": risks,
+        "success_criteria": criteria,
+    }
+
+
+def _decompose_cascading(query: str, entities: dict, registry_index: dict) -> dict:
+    regions = entities.get("regions", ["europe", "asia"])
+    region_label = " and ".join(regions)
+    sub_problems = [
+        _sp("sp1", "Scope corridor infrastructure",
+            f"Identify submarine cables connecting {region_label} and the IP links on them.",
+            "mapping", ["cable_inventory", "cross_layer_mapping"]),
+        _sp("sp2", "Primary impact analysis",
+            "Per-cable failure impact for the scoped corridor cables.",
+            "impact", ["event_processing", "impact_analysis"], depends_on=["sp1"]),
+        _sp("sp3", "Cascade propagation modeling",
+            "Trace load redistribution and secondary failures across rounds "
+            "using dependency graphs.",
+            "cascade", ["cascade_modeling", "failure_propagation"], depends_on=["sp1", "sp2"]),
+        _sp("sp4", "Temporal evolution analysis",
+            "Track how failures manifest in routing (BGP) and performance "
+            "(traceroute) over the observation window.",
+            "temporal", ["bgp_updates", "latency_measurement"], depends_on=["sp1"]),
+        _sp("sp5", "Cross-layer synthesis",
+            "Integrate impact, cascade and temporal outputs into a unified "
+            "cable/IP/AS timeline.",
+            "synthesis", ["report_combination"], depends_on=["sp2", "sp3", "sp4"]),
+    ]
+    constraints = [
+        _constraint("methodological", "cascade load model is an approximation; "
+                                      "report rounds and thresholds explicitly"),
+        _constraint("data", "BGP and traceroute views observe different layers; "
+                            "timestamps must be aligned before correlation"),
+        _constraint("technical", "multi-framework outputs use heterogeneous "
+                                 "formats; adapters required at every boundary"),
+    ]
+    risks = [
+        _risk("cascade model overestimates propagation when parallel capacity "
+              "is underrepresented", "medium", "bound rounds; report shed load"),
+        _risk("temporal correlation confounds background churn with "
+              "failure-driven updates", "medium", "use robust baselines"),
+    ]
+    criteria = [
+        _criterion("timeline spans cable, IP and AS layers", "all three layers present"),
+        _criterion("each secondary failure is attributed to a propagation round",
+                   "round index on every cascade event"),
+    ]
+    return {
+        "complexity": "complex",
+        "classification": {"spatial": region_label, "temporal": "multi-round evolution",
+                           "causal": "cascading multi-order"},
+        "sub_problems": sub_problems,
+        "constraints": constraints,
+        "risks": risks,
+        "success_criteria": criteria,
+    }
+
+
+def _decompose_forensics(query: str, entities: dict, registry_index: dict) -> dict:
+    days = entities.get("days_since_onset", 3)
+    regions = entities.get("regions", ["europe", "asia"])
+    sub_problems = [
+        _sp("sp1", "Quantify the latency anomaly",
+            f"Collect {regions[0]}→{regions[-1]} latency over a window covering "
+            f"{days} days before and after the reported onset; detect level "
+            "shifts with significance testing.",
+            "statistical", ["latency_measurement", "latency_anomaly_detection"]),
+        _sp("sp2", "Identify suspect infrastructure",
+            "Map anomalous paths to the submarine cables they rode; score "
+            "cables by likelihood of involvement.",
+            "scoring", ["cross_layer_mapping", "infrastructure_correlation"],
+            depends_on=["sp1"]),
+        _sp("sp3", "Validate against routing data",
+            "Check BGP for temporally correlated withdrawal/update bursts as "
+            "independent confirmation.",
+            "validation", ["bgp_updates", "routing_anomaly_detection",
+                           "temporal_correlation"],
+            depends_on=["sp1"]),
+        _sp("sp4", "Establish causation and identify the cable",
+            "Synthesize statistical, infrastructure and routing evidence into "
+            "a confidence-scored verdict naming the specific cable.",
+            "synthesis", ["report_combination"], depends_on=["sp1", "sp2", "sp3"]),
+    ]
+    constraints = [
+        _constraint("data", "only measurements within the retention window are "
+                            "available; the baseline must come from the same window"),
+        _constraint("methodological",
+                    "correlation alone does not establish causation; require "
+                    "independent evidence strands to agree in time"),
+        _constraint("methodological",
+                    "significance testing must precede any causal claim"),
+    ]
+    risks = [
+        _risk("an unrelated routing event inside the window could masquerade "
+              "as confirmation", "medium",
+              "require the BGP burst to align with the latency onset, not "
+              "merely exist"),
+        _risk("parallel cables on the corridor dilute suspect scoring", "medium",
+              "score with mapping candidate weights and report the margin"),
+    ]
+    criteria = [
+        _criterion("anomaly onset estimated with significance assessment",
+                   "p-value below alpha on before/after comparison"),
+        _criterion("a single cable is named with a confidence score and margin",
+                   "top suspect + score gap reported"),
+        _criterion("three independent evidence strands synthesized",
+                   "statistical, infrastructure, routing all present"),
+    ]
+    return {
+        "complexity": "complex",
+        "classification": {"spatial": "->".join(regions), "temporal":
+                           f"forensic window, onset ~{days} days ago",
+                           "causal": "causation establishment"},
+        "sub_problems": sub_problems,
+        "constraints": constraints,
+        "risks": risks,
+        "success_criteria": criteria,
+    }
+
+
+def _decompose_risk(query: str, entities: dict, registry_index: dict) -> dict:
+    sub_problems = [
+        _sp("sp1", "Build exposure profile",
+            "Quantify cable dependency per country: capacity shares, "
+            "concentration, dominant systems.",
+            "aggregation", ["risk_assessment", "exposure_analysis"]),
+        _sp("sp2", "Report", "Ranked exposure with structural explanations.",
+            "synthesis", ["report_combination"], depends_on=["sp1"]),
+    ]
+    return {
+        "complexity": "simple",
+        "classification": {"spatial": "per-country", "temporal": "static",
+                           "causal": "structural"},
+        "sub_problems": sub_problems,
+        "constraints": [_constraint("methodological",
+                                    "structural exposure is not outage prediction")],
+        "risks": [_risk("capacity data may lag real provisioning", "low")],
+        "success_criteria": [_criterion("every coastal country profiled",
+                                        "profiles cover all cable-landing countries")],
+    }
+
+
+def _decompose_generic(query: str, entities: dict, registry_index: dict) -> dict:
+    sub_problems = [
+        _sp("sp1", "Collect relevant measurements",
+            "Gather the measurement data the query implies.",
+            "temporal", ["latency_measurement", "bgp_updates"]),
+        _sp("sp2", "Analyze", "Apply anomaly detection / impact analysis as applicable.",
+            "impact", ["impact_analysis", "anomaly_detection"], depends_on=["sp1"]),
+        _sp("sp3", "Report", "Summarize findings.", "synthesis",
+            ["report_combination"], depends_on=["sp2"]),
+    ]
+    return {
+        "complexity": "simple",
+        "classification": {"spatial": "unspecified", "temporal": "unspecified",
+                           "causal": "unspecified"},
+        "sub_problems": sub_problems,
+        "constraints": [_constraint("data", "query underspecifies scope; defaults applied")],
+        "risks": [_risk("intent ambiguity may misdirect the workflow", "high",
+                        "expert-mode review recommended")],
+        "success_criteria": [_criterion("a structured report is produced")],
+    }
+
+
+_DECOMPOSERS = {
+    "cable_failure_impact": _decompose_cable_failure,
+    "multi_disaster_impact": _decompose_multi_disaster,
+    "cascading_failure": _decompose_cascading,
+    "latency_forensics": _decompose_forensics,
+    "risk_assessment": _decompose_risk,
+    "generic_impact": _decompose_generic,
+}
+
+
+# ---------------------------------------------------------------------------
+# Workflow design
+# ---------------------------------------------------------------------------
+
+
+def find_entry(registry_index: dict, tags: list[str], prefer: str | None = None) -> str | None:
+    """Best-matching registry entry name for a capability tag set."""
+    if prefer is not None and prefer in registry_index:
+        return prefer
+    best_name = None
+    best_score = 0
+    for name in sorted(registry_index):
+        capabilities = set(registry_index[name].get("capabilities", []))
+        score = sum(1 for tag in tags if tag in capabilities)
+        if score > best_score:
+            best_score = score
+            best_name = name
+    return best_name
+
+
+def _step(step_id, step_type, target, inputs, sub_problem_id="", note="", foreach=""):
+    return {
+        "id": step_id,
+        "step_type": step_type,
+        "target": target,
+        "inputs": inputs,
+        "sub_problem_id": sub_problem_id,
+        "note": note,
+        "foreach": foreach,
+    }
+
+
+def design(analysis: dict, registry_index: dict) -> dict:
+    """Build the full WorkflowScout output payload for one analysis."""
+    intent = analysis.get("intent", "generic_impact")
+    builder = _DESIGNERS.get(intent, _design_generic)
+    return builder(analysis, registry_index)
+
+
+def _design_cable_failure(analysis: dict, registry_index: dict) -> dict:
+    entities = analysis.get("entities", {})
+    cable = (entities.get("cable_names") or ["SeaMeWe-5"])[0]
+    steps = [
+        _step("s1", "registry", "nautilus.get_cable_info",
+              {"cable_name": "workflow:cable_name"}, "sp1",
+              note="validates the cable name and pins metadata"),
+        _step("s2", "registry", "nautilus.get_cable_dependencies",
+              {"cable_name": "workflow:cable_name"}, "sp1"),
+    ]
+    impact_entry = find_entry(registry_index, ["impact_analysis", "country_aggregation"],
+                              prefer="xaminer.country_impact")
+    direct_available = impact_entry is not None and impact_entry.startswith("xaminer.")
+    if direct_available:
+        steps += [
+            _step("s3", "registry", impact_entry,
+                  {"failed_link_ids": "step:s2.link_ids"}, "sp3"),
+            _step("s4", "transform", "build_report",
+                  {"ranking": "step:s3", "dependencies": "step:s2",
+                   "title": 'const:"Country-level impact of cable failure"'},
+                  "sp4"),
+        ]
+        mode = "direct"
+        rationale = (
+            "A dedicated country-impact function exists; dependency extraction "
+            "feeds it directly. No alternative wiring improves on this."
+        )
+        alternatives = []
+    else:
+        # Case study 1 setup: Xaminer withheld. Derive the impact pipeline
+        # from Nautilus primitives plus inline aggregation transforms.  The
+        # full cross-layer map supplies per-country denominators so that
+        # impact is normalised per country, as resilience analyses require.
+        steps += [
+            _step("s3", "registry", "nautilus.geolocate_ips",
+                  {"ips": "step:s2.ips"}, "sp2"),
+            _step("s4", "registry", "nautilus.map_ip_links_to_cables", {}, "sp2",
+                  note="full mapping provides per-country infrastructure totals"),
+            _step("s5", "transform", "aggregate_impact_by_country",
+                  {"dependencies": "step:s2", "locations": "step:s3",
+                   "all_links": "step:s4"}, "sp3",
+                  note="direct processing pipeline replacing the missing "
+                       "impact framework"),
+            _step("s6", "transform", "rank_countries_by_impact",
+                  {"impacts": "step:s5"}, "sp3"),
+            _step("s7", "transform", "build_report",
+                  {"ranking": "step:s6", "dependencies": "step:s2",
+                   "title": 'const:"Country-level impact of cable failure"'},
+                  "sp4"),
+        ]
+        mode = "comparative"
+        rationale = (
+            "No registry function aggregates impact at country level, so the "
+            "workflow derives it: dependency extraction → geolocation → "
+            "direct per-country aggregation of affected links, IPs and "
+            "capacity, normalised by each country's total mapped "
+            "infrastructure."
+        )
+        alternatives = [
+            {
+                "rationale": "Map every submarine link first, then filter to "
+                             "the target cable before aggregating.",
+                "tradeoffs": {"data_requirements": "full-world mapping",
+                              "computational_complexity": "higher",
+                              "reliability": "equal"},
+                "steps": [],
+            }
+        ]
+    return {
+        "exploration_mode": mode,
+        "workflow": {"steps": steps},
+        "workflow_inputs": {"cable_name": "human name of the failed cable"},
+        "param_defaults": {"cable_name": cable},
+        "rationale": rationale,
+        "tradeoffs": {"data_requirements": "single-cable dependency set",
+                      "computational_complexity": "low",
+                      "reliability": "bounded by mapping confidence"},
+        "alternatives": alternatives,
+    }
+
+
+def _design_multi_disaster(analysis: dict, registry_index: dict) -> dict:
+    entities = analysis.get("entities", {})
+    prob = entities.get("failure_probability", 1.0)
+    severe = entities.get("severity_filter") == "severe"
+    kinds = entities.get("disaster_kinds", ["earthquake", "hurricane"])
+    steps = [
+        _step("s1", "registry", "xaminer.list_disasters",
+              {"severe_only": f"const:{str(severe).lower()}"}, "sp1"),
+        _step("s2", "transform", "split_events_by_kind",
+              {"events": "step:s1"}, "sp1"),
+    ]
+    collect_steps = []
+    for i, kind in enumerate(kinds):
+        sid = f"s{3 + i}"
+        steps.append(
+            _step(sid, "registry", "xaminer.process_event",
+                  {"event_spec": "item",
+                   "failure_probability": "workflow:failure_probability",
+                   "seed": "workflow:seed"},
+                  "sp2", foreach=f"step:s2.{kind}",
+                  note=f"one call per {kind} event")
+        )
+        collect_steps.append(sid)
+    combine_inputs = {"reports_a": f"step:{collect_steps[0]}"}
+    if len(collect_steps) > 1:
+        combine_inputs["reports_b"] = f"step:{collect_steps[1]}"
+    next_id = 3 + len(kinds)
+    steps.append(_step(f"s{next_id}", "transform", "combine_reports",
+                       combine_inputs, "sp3"))
+    steps.append(_step(f"s{next_id + 1}", "transform", "build_report",
+                       {"ranking": f"step:s{next_id}",
+                        "dependencies": f"step:s{next_id}",
+                        "title": 'const:"Global multi-disaster impact"'},
+                       "sp3"))
+    return {
+        "exploration_mode": "comparative",
+        "workflow": {"steps": steps},
+        "workflow_inputs": {"failure_probability": "per-event infrastructure "
+                                                   "failure probability",
+                            "seed": "failure sampling seed"},
+        "param_defaults": {"failure_probability": prob, "seed": 0},
+        "rationale": (
+            "The event-processing function is versatile enough to handle "
+            "every disaster kind; the multi-disaster requirement needs "
+            "iteration over events, not integration of additional "
+            "frameworks. Cross-framework alternatives were considered and "
+            "rejected as over-engineering."
+        ),
+        "tradeoffs": {"data_requirements": "disaster catalog only",
+                      "computational_complexity": "linear in event count",
+                      "reliability": "high — single well-tested function"},
+        "alternatives": [
+            {
+                "rationale": "Cross-framework integration: per-event cable "
+                             "mapping via the cartography framework, then "
+                             "custom impact synthesis.",
+                "tradeoffs": {"data_requirements": "much larger",
+                              "computational_complexity": "high",
+                              "reliability": "lower — more integration surface"},
+                "steps": [],
+            }
+        ],
+    }
+
+
+def _design_cascading(analysis: dict, registry_index: dict) -> dict:
+    entities = analysis.get("entities", {})
+    regions = entities.get("regions", ["europe", "asia"])
+    region_map = entities.get("region_country_map", {})
+    import json as _json
+
+    steps = [
+        _step("s1", "registry", "nautilus.list_cables", {}, "sp1"),
+        _step("s2", "transform", "filter_cables_by_regions",
+              {"cables": "step:s1",
+               "region_a": "workflow:src_region",
+               "region_b": "workflow:dst_region",
+               "region_country_map": "const:" + _json.dumps(region_map)},
+              "sp1"),
+        _step("s3", "registry", "nautilus.map_ip_links_to_cables", {}, "sp1"),
+        _step("s4", "transform", "derive_initial_failures",
+              {"mappings": "step:s3", "scoped": "step:s2"}, "sp1"),
+        _step("s5", "registry", "xaminer.process_event",
+              {"event_spec": "item",
+               "failure_probability": "const:1.0",
+               "seed": "workflow:seed"},
+              "sp2", foreach="step:s4.cable_events"),
+        _step("s6", "transform", "combine_reports", {"reports_a": "step:s5"}, "sp2"),
+        _step("s7", "transform", "propagate_cascade_rounds",
+              {"initial": "step:s4", "mappings": "step:s3",
+               "impact": "step:s6"}, "sp3",
+              note="graph propagation over shared-AS bridges between cables"),
+        _step("s8", "registry", "bgp.fetch_updates",
+              {"window_start": "workflow:window_start",
+               "window_end": "workflow:window_end"}, "sp4"),
+        _step("s9", "registry", "bgp.summarize_path_changes",
+              {"update_rows": "step:s8"}, "sp4"),
+        _step("s10", "registry", "traceroute.run_campaign",
+              {"src_region": "workflow:src_region",
+               "dst_region": "workflow:dst_region",
+               "window_start": "workflow:window_start",
+               "window_end": "workflow:window_end",
+               "interval_s": "const:21600"}, "sp4"),
+        _step("s11", "registry", "traceroute.latency_series",
+              {"measurement_rows": "step:s10"}, "sp4"),
+        _step("s12", "transform", "build_cascade_timeline",
+              {"impact": "step:s6", "cascade": "step:s7",
+               "path_changes": "step:s9", "latency_series": "step:s11",
+               "scoped": "step:s2"}, "sp5"),
+    ]
+    return {
+        "exploration_mode": "comparative",
+        "workflow": {"steps": steps},
+        "workflow_inputs": {
+            "src_region": "first corridor region",
+            "dst_region": "second corridor region",
+            "window_start": "observation window start (s)",
+            "window_end": "observation window end (s)",
+            "seed": "failure sampling seed",
+        },
+        "param_defaults": {"src_region": regions[0],
+                           "dst_region": regions[-1] if len(regions) > 1 else "asia",
+                           "seed": 0},
+        "rationale": (
+            "Four frameworks integrate: cartography scopes the corridor and "
+            "maps links; resilience analysis quantifies primary impact per "
+            "cable; a generated graph algorithm propagates the cascade over "
+            "shared-AS bridges; BGP and traceroute track temporal evolution; "
+            "a synthesis stage unifies everything into one cross-layer "
+            "timeline."
+        ),
+        "tradeoffs": {"data_requirements": "corridor-wide, multi-layer",
+                      "computational_complexity": "high (bounded rounds)",
+                      "reliability": "depends on adapter correctness at four "
+                                     "framework boundaries"},
+        "alternatives": [
+            {
+                "rationale": "Impact-only analysis without cascade modeling "
+                             "(first-order effects only).",
+                "tradeoffs": {"data_requirements": "lower",
+                              "computational_complexity": "low",
+                              "reliability": "misses the question being asked"},
+                "steps": [],
+            },
+            {
+                "rationale": "Full dynamic simulation per failure combination "
+                             "(exponential sweep).",
+                "tradeoffs": {"data_requirements": "same",
+                              "computational_complexity": "exponential",
+                              "reliability": "intractable"},
+                "steps": [],
+            },
+        ],
+    }
+
+
+def _design_forensics(analysis: dict, registry_index: dict) -> dict:
+    entities = analysis.get("entities", {})
+    regions = entities.get("regions", ["europe", "asia"])
+    steps = [
+        _step("s1", "registry", "traceroute.run_campaign",
+              {"src_region": "workflow:src_region",
+               "dst_region": "workflow:dst_region",
+               "window_start": "workflow:window_start",
+               "window_end": "workflow:window_end",
+               "interval_s": "const:3600"}, "sp1"),
+        _step("s2", "registry", "traceroute.latency_series",
+              {"measurement_rows": "step:s1", "group_by": 'const:"pair"'}, "sp1"),
+        _step("s3", "registry", "traceroute.detect_latency_anomalies",
+              {"series_rows": "step:s2"}, "sp1"),
+        _step("s4", "transform", "summarize_latency_anomalies",
+              {"anomalies": "step:s3"}, "sp1",
+              note="baseline vs elevated medians, onset consensus, significance"),
+        _step("s5", "registry", "nautilus.map_ip_links_to_cables", {}, "sp2"),
+        _step("s6", "transform", "score_suspect_cables",
+              {"anomaly_summary": "step:s4", "measurements": "step:s1",
+               "mappings": "step:s5"}, "sp2",
+              note="vanished-link evidence weighted by mapping confidence"),
+        _step("s7", "registry", "bgp.fetch_updates",
+              {"window_start": "workflow:window_start",
+               "window_end": "workflow:window_end"}, "sp3"),
+        _step("s8", "registry", "bgp.detect_routing_anomalies",
+              {"update_rows": "step:s7",
+               "window_start": "workflow:window_start",
+               "window_end": "workflow:window_end"}, "sp3"),
+        _step("s9", "registry", "bgp.correlate_updates_with_window",
+              {"update_rows": "step:s7",
+               "anomaly_start": "step:s4.onset_estimate",
+               "anomaly_end": "step:s4.onset_end"}, "sp3"),
+        _step("s10", "transform", "synthesize_forensic_evidence",
+              {"latency_summary": "step:s4", "suspects": "step:s6",
+               "bgp_anomalies": "step:s8", "bgp_correlation": "step:s9"},
+              "sp4"),
+    ]
+    return {
+        "exploration_mode": "comparative",
+        "workflow": {"steps": steps},
+        "workflow_inputs": {
+            "src_region": "probe region", "dst_region": "target region",
+            "window_start": "forensic window start (s)",
+            "window_end": "forensic window end (s)",
+        },
+        "param_defaults": {"src_region": regions[0],
+                           "dst_region": regions[-1] if len(regions) > 1 else "asia"},
+        "rationale": (
+            "Three independent evidence strands: statistical anomaly "
+            "detection on latency series establishes the effect; "
+            "cross-layer mapping plus vanished-link scoring identifies the "
+            "suspect cable; BGP correlation independently confirms the "
+            "timing. Synthesis requires agreement before claiming causation."
+        ),
+        "tradeoffs": {"data_requirements": "full forensic window, two feeds",
+                      "computational_complexity": "moderate",
+                      "reliability": "high — strands are independent"},
+        "alternatives": [
+            {
+                "rationale": "Latency-only attribution (skip BGP validation).",
+                "tradeoffs": {"data_requirements": "lower",
+                              "computational_complexity": "lower",
+                              "reliability": "cannot establish causation"},
+                "steps": [],
+            }
+        ],
+    }
+
+
+def _design_risk(analysis: dict, registry_index: dict) -> dict:
+    steps = [
+        _step("s1", "registry", "xaminer.risk_profile",
+              {"country_code": "workflow:country_code"}, "sp1"),
+        _step("s2", "transform", "build_report",
+              {"ranking": "step:s1", "dependencies": "step:s1",
+               "title": 'const:"Cable dependency risk profile"'}, "sp2"),
+    ]
+    return {
+        "exploration_mode": "direct",
+        "workflow": {"steps": steps},
+        "workflow_inputs": {"country_code": "ISO-2 country or null for global"},
+        "param_defaults": {"country_code": None},
+        "rationale": "A single registry function answers structural exposure.",
+        "tradeoffs": {"data_requirements": "static world view",
+                      "computational_complexity": "trivial",
+                      "reliability": "high"},
+        "alternatives": [],
+    }
+
+
+def _design_generic(analysis: dict, registry_index: dict) -> dict:
+    steps = [
+        _step("s1", "registry", "traceroute.run_campaign",
+              {"src_region": "workflow:src_region",
+               "dst_region": "workflow:dst_region",
+               "window_start": "workflow:window_start",
+               "window_end": "workflow:window_end",
+               "interval_s": "const:21600"}, "sp1"),
+        _step("s2", "registry", "traceroute.latency_series",
+              {"measurement_rows": "step:s1"}, "sp2"),
+        _step("s3", "registry", "traceroute.detect_latency_anomalies",
+              {"series_rows": "step:s2"}, "sp2"),
+        _step("s4", "transform", "build_report",
+              {"ranking": "step:s3", "dependencies": "step:s2",
+               "title": 'const:"Measurement summary"'}, "sp3"),
+    ]
+    return {
+        "exploration_mode": "direct",
+        "workflow": {"steps": steps},
+        "workflow_inputs": {"src_region": "source region",
+                            "dst_region": "destination region",
+                            "window_start": "window start",
+                            "window_end": "window end"},
+        "param_defaults": {"src_region": "europe", "dst_region": "asia"},
+        "rationale": "Fallback measurement sweep for an underspecified query.",
+        "tradeoffs": {},
+        "alternatives": [],
+    }
+
+
+_DESIGNERS = {
+    "cable_failure_impact": _design_cable_failure,
+    "multi_disaster_impact": _design_multi_disaster,
+    "cascading_failure": _design_cascading,
+    "latency_forensics": _design_forensics,
+    "risk_assessment": _design_risk,
+    "generic_impact": _design_generic,
+}
+
+
+# ---------------------------------------------------------------------------
+# Implementation planning (SolutionWeaver) and curation
+# ---------------------------------------------------------------------------
+
+_QA_BY_INTENT = {
+    "cable_failure_impact": ["consistency_cross_source", "sanity_bounds",
+                             "uncertainty_quantification"],
+    "multi_disaster_impact": ["sanity_bounds", "coverage_check"],
+    "cascading_failure": ["consistency_cross_source", "sanity_bounds",
+                          "coverage_check"],
+    "latency_forensics": ["significance_assessment", "consistency_cross_source",
+                          "sanity_bounds", "uncertainty_quantification"],
+    "risk_assessment": ["sanity_bounds"],
+    "generic_impact": ["sanity_bounds", "coverage_check"],
+}
+
+
+def plan_implementation(design_payload: dict, intent: str) -> dict:
+    """Build the SolutionWeaver output payload: ordering, adapters, QA."""
+    steps = (
+        design_payload.get("workflow", {}).get("steps")
+        or design_payload.get("chosen", {}).get("steps")
+        or []
+    )
+    adapters = []
+    for step in steps:
+        for param, binding in step.get("inputs", {}).items():
+            if isinstance(binding, str) and binding.startswith("step:") and "." in binding.split(":", 1)[1]:
+                src = binding.split(":", 1)[1].split(".", 1)[0]
+                field = binding.split(".", 1)[1]
+                adapters.append({
+                    "from_step": src,
+                    "to_step": step["id"],
+                    "description": f"extract field {field!r} from {src} output "
+                                   f"for parameter {param!r}",
+                })
+    qa = list(_QA_BY_INTENT.get(intent, ["sanity_bounds"]))
+    return {
+        "step_order": [s["id"] for s in steps],
+        "adapters": adapters,
+        "qa_checks": qa,
+        "result_keys": [s["id"] for s in steps],
+        "notes": f"{len(adapters)} format adapters; QA: {', '.join(qa)}",
+    }
+
+
+#: Chains the curator recognises as promotable composite capabilities.
+CURATOR_PATTERNS = (
+    {
+        "sequence": ("nautilus.get_cable_dependencies", "aggregate_impact_by_country",
+                     "rank_countries_by_impact"),
+        "name": "composite.cable_country_impact",
+        "summary": "Country-level impact assessment of a single cable failure "
+                   "derived from dependency extraction plus direct aggregation.",
+        "capabilities": ["impact_analysis", "country_aggregation",
+                         "cable_dependencies"],
+    },
+    {
+        "sequence": ("traceroute.detect_latency_anomalies", "score_suspect_cables",
+                     "synthesize_forensic_evidence"),
+        "name": "composite.latency_root_cause",
+        "summary": "Forensic root-cause pipeline: latency anomaly to ranked "
+                   "cable suspects with evidence synthesis.",
+        "capabilities": ["latency_anomaly_detection", "infrastructure_correlation",
+                         "evidence_synthesis"],
+    },
+    {
+        "sequence": ("xaminer.process_event", "combine_reports"),
+        "name": "composite.multi_event_impact",
+        "summary": "Iterate event processing over a scenario list and merge "
+                   "into global impact metrics.",
+        "capabilities": ["event_processing", "impact_analysis",
+                         "report_combination"],
+    },
+)
+
+
+def curator_candidates(design_payload: dict, execution_payload: dict) -> dict:
+    """Extract promotable patterns from a successful execution."""
+    if not execution_payload.get("succeeded", False):
+        return {"candidates": []}
+    steps = (
+        design_payload.get("workflow", {}).get("steps")
+        or design_payload.get("chosen", {}).get("steps")
+        or []
+    )
+    targets = [s["target"] for s in steps]
+    target_set = set(targets)
+    candidates = []
+    for pattern in CURATOR_PATTERNS:
+        if set(pattern["sequence"]).issubset(target_set):
+            candidates.append({
+                "name": pattern["name"],
+                "summary": pattern["summary"],
+                "capabilities": list(pattern["capabilities"]),
+                "composed_of": list(pattern["sequence"]),
+            })
+    return {"candidates": candidates}

@@ -1,0 +1,181 @@
+"""Agent prompt templates.
+
+The paper open-sources ArachNet's prompts; these are faithful equivalents.
+Each prompt is a plain string with ``## SECTION`` delimiters so that any
+backend — hosted model or the offline expert system — can locate the role,
+the registry rendering, the query and the machine-readable context.  The
+``## OUTPUT SCHEMA`` section fixes the JSON contract the agent must return.
+"""
+
+from __future__ import annotations
+
+import json
+
+QUERYMIND_SYSTEM = """\
+You are QueryMind, the problem-analysis agent of ArachNet, an agentic system
+for Internet measurement research.  You transform a natural-language
+measurement query into a structured decomposition: sub-problems with
+dependencies, feasibility constraints, risks, and explicit success criteria.
+You reason like a measurement domain expert: clarify WHAT must be measured
+before anyone thinks about HOW.  Surface hidden complexity (geographic
+scoping, temporal windows, causal chains) and flag missing data early —
+constraints determine which solutions are feasible at all."""
+
+WORKFLOWSCOUT_SYSTEM = """\
+You are WorkflowScout, the solution-design agent of ArachNet.  You convert a
+structured problem analysis into a concrete workflow: a DAG of registry
+function invocations and inline transforms with explicit data-flow bindings.
+Scale exploration to complexity: simple single-framework queries get one
+direct solution path; complex multi-framework queries deserve alternatives
+compared on data requirements, computational cost and reliability.  Use the
+fewest tools that fully solve the problem — solution scope comes from the
+requirements, never from the inventory of available capabilities."""
+
+SOLUTIONWEAVER_SYSTEM = """\
+You are SolutionWeaver, the implementation agent of ArachNet.  You turn a
+workflow design into an implementation plan for executable Python: step
+ordering, format-translation adapters between heterogeneous tool outputs,
+and embedded quality assurance (cross-source consistency verification,
+sanity checks on measurement results, uncertainty quantification).  Quality
+checks are woven through the implementation, not bolted on afterwards."""
+
+REGISTRYCURATOR_SYSTEM = """\
+You are RegistryCurator, the capability-evolution agent of ArachNet.  You
+inspect successful workflow executions for reusable composition patterns
+worth promoting into the registry.  Be conservative: validation comes before
+integration, and only patterns demonstrating accuracy and cross-query
+utility merit inclusion.  Registry bloat is a failure mode."""
+
+
+def _fence(payload) -> str:
+    return "```json\n" + json.dumps(payload, indent=None, separators=(",", ":")) + "\n```"
+
+
+def querymind_prompt(query: str, registry_text: str, data_context: dict) -> str:
+    """User prompt for QueryMind."""
+    return f"""\
+## QUERY
+{query}
+
+## REGISTRY
+The following measurement capabilities are available:
+```json
+{registry_text}
+```
+
+## DATA CONTEXT
+Known measurement-domain facts for entity grounding:
+{_fence(data_context)}
+
+## TASK
+1. Classify the query: intent, complexity, spatial/temporal/causal character.
+2. Extract concrete entities (cable names, regions, probabilities, time windows).
+3. Decompose into sub-problems with kinds, required capabilities and dependencies.
+4. List data/technical/methodological constraints (mark blocking ones).
+5. List risks with mitigations, and success criteria.
+
+## OUTPUT SCHEMA
+Return JSON: {{"intent": str, "entities": object, "complexity": "simple|moderate|complex",
+"classification": object, "sub_problems": [{{"id","title","description","kind",
+"required_capabilities","depends_on"}}], "constraints": [{{"kind","description","blocking"}}],
+"risks": [{{"description","likelihood","mitigation"}}],
+"success_criteria": [{{"description","metric"}}]}}"""
+
+
+def workflowscout_prompt(analysis_json: dict, registry_text: str) -> str:
+    """User prompt for WorkflowScout."""
+    return f"""\
+## PROBLEM ANALYSIS
+{_fence(analysis_json)}
+
+## REGISTRY
+```json
+{registry_text}
+```
+
+## TASK
+Design the solution workflow.  For each sub-problem choose registry functions
+by capability match, or specify inline transforms where no function fits.
+Wire data flow with bindings: "workflow:<param>", "step:<id>", or
+"const:<json>".  Use "foreach" on a step to map a function over a list
+produced by a prior step.  For complex problems, record the alternatives you
+considered and why the chosen design wins.
+
+## OUTPUT SCHEMA
+Return JSON: {{"exploration_mode": "direct|comparative",
+"workflow": {{"steps": [{{"id","step_type":"registry|transform","target",
+"inputs":object,"sub_problem_id","note","foreach"}}]}},
+"workflow_inputs": object, "param_defaults": object,
+"rationale": str, "tradeoffs": object,
+"alternatives": [{{"rationale","tradeoffs","steps":[...]}}]}}"""
+
+
+def solutionweaver_prompt(design_json: dict, registry_text: str) -> str:
+    """User prompt for SolutionWeaver."""
+    return f"""\
+## WORKFLOW DESIGN
+{_fence(design_json)}
+
+## REGISTRY
+```json
+{registry_text}
+```
+
+## TASK
+Produce the implementation plan: execution order, the format-translation
+adapters needed between steps (tool outputs are heterogeneous dict shapes),
+and the quality-assurance checks to embed.  Choose QA from:
+consistency_cross_source, sanity_bounds, uncertainty_quantification,
+coverage_check, significance_assessment.
+
+## OUTPUT SCHEMA
+Return JSON: {{"step_order": [step ids], "adapters": [{{"from_step","to_step",
+"description"}}], "qa_checks": [str], "result_keys": [str], "notes": str}}"""
+
+
+def registrycurator_prompt(
+    design_json: dict, execution_json: dict, registry_text: str
+) -> str:
+    """User prompt for RegistryCurator."""
+    return f"""\
+## EXECUTED WORKFLOW
+{_fence(design_json)}
+
+## EXECUTION OUTCOME
+{_fence(execution_json)}
+
+## REGISTRY
+```json
+{registry_text}
+```
+
+## TASK
+Identify reusable composition patterns (chains of 2+ steps that solve a
+recurring sub-problem) worth promoting to registry entries.  Reject patterns
+that duplicate existing entries or whose execution did not succeed.
+
+## OUTPUT SCHEMA
+Return JSON: {{"candidates": [{{"name","summary","capabilities",
+"composed_of": [step targets in order]}}]}}"""
+
+
+def section(prompt: str, name: str) -> str:
+    """Extract one ``## NAME`` section's body from a prompt."""
+    marker = f"## {name}\n"
+    start = prompt.find(marker)
+    if start == -1:
+        raise KeyError(f"prompt has no section {name!r}")
+    body_start = start + len(marker)
+    next_marker = prompt.find("\n## ", body_start)
+    return prompt[body_start:] if next_marker == -1 else prompt[body_start:next_marker]
+
+
+def section_json(prompt: str, name: str):
+    """Extract and parse the JSON payload of a section."""
+    body = section(prompt, name)
+    start = body.find("```json")
+    if start == -1:
+        raise KeyError(f"section {name!r} has no JSON fence")
+    start += len("```json")
+    end = body.find("```", start)
+    return json.loads(body[start:end].strip())

@@ -1,0 +1,34 @@
+"""Scripted LLM backend: canned completions for tests.
+
+Feed it a list of reply strings; each ``complete`` call pops the next one.
+Useful for exercising parse-retry behaviour (malformed replies), agent
+validation failures (well-formed but wrong JSON), and recording/replay
+scenarios.
+"""
+
+from __future__ import annotations
+
+from repro.core.llm.client import LLMError, LLMRequest, LLMResponse
+
+
+class ScriptedLLM:
+    """Replays a fixed sequence of completions."""
+
+    def __init__(self, replies: list[str]):
+        self._replies = list(replies)
+        self._log: list[LLMRequest] = []
+
+    @property
+    def requests(self) -> list[LLMRequest]:
+        """Every request received, for assertions on prompt construction."""
+        return list(self._log)
+
+    @property
+    def remaining(self) -> int:
+        return len(self._replies)
+
+    def complete(self, request: LLMRequest) -> LLMResponse:
+        self._log.append(request)
+        if not self._replies:
+            raise LLMError("scripted backend exhausted its replies")
+        return LLMResponse(text=self._replies.pop(0), model="scripted")

@@ -1,0 +1,165 @@
+"""The ArachNet pipeline: query in, executed measurement workflow out.
+
+Wires the four agents over one registry and one measurement context,
+implementing both operating modes from §3:
+
+* **standard** — fully automated: QueryMind → WorkflowScout →
+  SolutionWeaver → execution → RegistryCurator.
+* **expert** — the same pipeline with review hooks between stages; each
+  hook receives the in-flight artifact and may return a modified one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.agents import QueryMind, RegistryCurator, SolutionWeaver, WorkflowScout
+from repro.core.artifacts import (
+    ExecutionOutcome,
+    GeneratedSolution,
+    PipelineResult,
+    ProblemAnalysis,
+    StageTrace,
+    WorkflowDesign,
+)
+from repro.core.catalog import MeasurementContext, ToolCatalog
+from repro.core.executor import execute_solution
+from repro.core.llm.client import LLMClient
+from repro.core.llm.simulated import SimulatedLLM
+from repro.core.registry import Registry, default_registry
+from repro.synth.geography import Region
+from repro.synth.scenarios import SECONDS_PER_DAY
+from repro.synth.world import SyntheticWorld
+
+
+@dataclass
+class ExpertHooks:
+    """Optional review callbacks for expert mode.
+
+    Each hook takes the stage artifact and returns the (possibly modified)
+    artifact — mirroring "specialists can review and adjust outputs between
+    agents before proceeding to the next stage".
+    """
+
+    on_analysis: Callable[[ProblemAnalysis], ProblemAnalysis] | None = None
+    on_design: Callable[[WorkflowDesign], WorkflowDesign] | None = None
+    on_solution: Callable[[GeneratedSolution], GeneratedSolution] | None = None
+    on_execution: Callable[[ExecutionOutcome], ExecutionOutcome] | None = None
+
+
+def build_data_context(world: SyntheticWorld) -> dict:
+    """The grounding facts QueryMind receives about the measurement domain.
+
+    Describes the world's vocabulary (cable names, regions, disaster kinds)
+    — never its internal state or any incident ground truth.
+    """
+    region_country_map: dict[str, list[str]] = {}
+    for country in world.countries.values():
+        region_country_map.setdefault(country.region.value, []).append(country.code)
+    return {
+        "cable_names": world.cable_names(),
+        "regions": [r.value for r in Region],
+        "region_country_map": {k: sorted(v) for k, v in region_country_map.items()},
+        "disaster_kinds": ["earthquake", "hurricane", "cable_cut"],
+        "country_codes": sorted(world.countries.keys()),
+    }
+
+
+def standard_params(world: SyntheticWorld, entities: dict) -> dict:
+    """Derive default execution parameters from the analysis entities.
+
+    The observation window ends "now" (the context's latest timestamp) and
+    reaches back far enough to cover the onset the query mentions plus a
+    baseline — roughly double the lookback, floored at seven days.
+    """
+    days_since_onset = float(entities.get("days_since_onset", 3))
+    history_days = max(7.0, days_since_onset * 2 + 1)
+    now_ts = history_days * SECONDS_PER_DAY
+    return {
+        "now_ts": now_ts,
+        "window_start": 0.0,
+        "window_end": now_ts,
+        "seed": 0,
+    }
+
+
+@dataclass
+class ArachNet:
+    """The assembled system."""
+
+    registry: Registry
+    context: MeasurementContext
+    llm: LLMClient = field(default_factory=SimulatedLLM)
+    mode: str = "standard"  # "standard" | "expert"
+    hooks: ExpertHooks = field(default_factory=ExpertHooks)
+    curate: bool = True
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("standard", "expert"):
+            raise ValueError(f"unknown mode {self.mode!r}")
+        self._querymind = QueryMind(self.llm, self.registry)
+        self._scout = WorkflowScout(self.llm, self.registry)
+        self._weaver = SolutionWeaver(self.llm, self.registry)
+        self._curator = RegistryCurator(self.llm, self.registry)
+
+    @classmethod
+    def for_world(
+        cls,
+        world: SyntheticWorld,
+        registry: Registry | None = None,
+        incidents: list | None = None,
+        **kwargs,
+    ) -> "ArachNet":
+        return cls(
+            registry=registry if registry is not None else default_registry(),
+            context=MeasurementContext(world=world, incidents=list(incidents or [])),
+            **kwargs,
+        )
+
+    def answer(self, query: str, params: dict | None = None) -> PipelineResult:
+        """Run the full pipeline for one natural-language query."""
+        trace: list[StageTrace] = []
+        expert = self.mode == "expert"
+
+        analysis = self._querymind.analyze(query, build_data_context(self.context.world))
+        if expert and self.hooks.on_analysis:
+            analysis = self.hooks.on_analysis(analysis)
+        trace.append(StageTrace("querymind", "ProblemAnalysis",
+                                expert and self.hooks.on_analysis is not None))
+
+        design = self._scout.design(analysis)
+        if expert and self.hooks.on_design:
+            design = self.hooks.on_design(design)
+        trace.append(StageTrace("workflowscout", "WorkflowDesign",
+                                expert and self.hooks.on_design is not None))
+
+        solution = self._weaver.implement(design, analysis)
+        if expert and self.hooks.on_solution:
+            solution = self.hooks.on_solution(solution)
+        trace.append(StageTrace("solutionweaver", "GeneratedSolution",
+                                expert and self.hooks.on_solution is not None))
+
+        run_params = {**standard_params(self.context.world, analysis.entities),
+                      **design.param_defaults, **(params or {})}
+        catalog = ToolCatalog(self.registry, self.context)
+        execution = execute_solution(solution, catalog, run_params)
+        if expert and self.hooks.on_execution:
+            execution = self.hooks.on_execution(execution)
+        trace.append(StageTrace("executor", "ExecutionOutcome",
+                                expert and self.hooks.on_execution is not None))
+
+        curator_report = None
+        if self.curate:
+            curator_report = self._curator.curate(design, execution, self.registry)
+            trace.append(StageTrace("registrycurator", "CuratorReport", False))
+
+        return PipelineResult(
+            query=query,
+            analysis=analysis,
+            design=design,
+            solution=solution,
+            execution=execution,
+            curator=curator_report,
+            stage_trace=trace,
+        )

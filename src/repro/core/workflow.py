@@ -1,0 +1,156 @@
+"""Workflow DAG utilities: validation, ordering, signatures.
+
+A workflow is a list of :class:`~repro.core.artifacts.WorkflowStep` whose
+input bindings reference workflow inputs, constants or prior step outputs.
+This module checks well-formedness (the invariants the property tests pin
+down), derives execution order, and computes the *functional signature* used
+to compare generated workflows against expert ones.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.artifacts import CandidateWorkflow, StepType, WorkflowStep
+
+
+class WorkflowValidationError(ValueError):
+    """A workflow violates a structural invariant."""
+
+
+def parse_binding(binding: str) -> tuple[str, str]:
+    """Split a binding into (kind, payload); kind ∈ {workflow, step, const}."""
+    if ":" not in binding:
+        raise WorkflowValidationError(f"malformed binding {binding!r}")
+    kind, payload = binding.split(":", 1)
+    if kind not in ("workflow", "step", "const"):
+        raise WorkflowValidationError(f"unknown binding kind {kind!r} in {binding!r}")
+    return kind, payload
+
+
+def validate_workflow(
+    workflow: CandidateWorkflow,
+    workflow_inputs: dict[str, str],
+    registry_names: set[str] | None = None,
+    transform_names: set[str] | None = None,
+) -> None:
+    """Raise :class:`WorkflowValidationError` on any structural violation.
+
+    Checks: unique step ids, resolvable bindings (defined inputs, existing
+    predecessor steps), known targets, and acyclicity.
+    """
+    seen: set[str] = set()
+    for step in workflow.steps:
+        if step.id in seen:
+            raise WorkflowValidationError(f"duplicate step id {step.id!r}")
+        seen.add(step.id)
+
+    for step in workflow.steps:
+        if step.step_type is StepType.REGISTRY and registry_names is not None:
+            if step.target not in registry_names:
+                raise WorkflowValidationError(
+                    f"step {step.id!r} targets unknown registry entry {step.target!r}"
+                )
+        if step.step_type is StepType.TRANSFORM and transform_names is not None:
+            if step.target not in transform_names:
+                raise WorkflowValidationError(
+                    f"step {step.id!r} targets unknown transform {step.target!r}"
+                )
+        if step.foreach:
+            kind, payload = parse_binding(step.foreach)
+            if kind != "step":
+                raise WorkflowValidationError(
+                    f"step {step.id!r} foreach must bind a step output, got {step.foreach!r}"
+                )
+        for param, binding in step.inputs.items():
+            if binding == "item":
+                if not step.foreach:
+                    raise WorkflowValidationError(
+                        f"step {step.id!r} uses 'item' binding without foreach"
+                    )
+                continue
+            kind, payload = parse_binding(binding)
+            if kind == "workflow" and payload not in workflow_inputs:
+                raise WorkflowValidationError(
+                    f"step {step.id!r} input {param!r} references undefined workflow input {payload!r}"
+                )
+            if kind == "step":
+                ref_id = payload.split(".", 1)[0]
+                if ref_id not in seen:
+                    raise WorkflowValidationError(
+                        f"step {step.id!r} input {param!r} references unknown step {ref_id!r}"
+                    )
+                if ref_id == step.id:
+                    raise WorkflowValidationError(f"step {step.id!r} references itself")
+            if kind == "const":
+                try:
+                    json.loads(payload)
+                except json.JSONDecodeError as exc:
+                    raise WorkflowValidationError(
+                        f"step {step.id!r} const binding is not JSON: {payload!r}"
+                    ) from exc
+
+    topological_order(workflow)  # raises on cycles
+
+
+def topological_order(workflow: CandidateWorkflow) -> list[WorkflowStep]:
+    """Steps in dependency order (Kahn's algorithm, stable by step id)."""
+    by_id = {step.id: step for step in workflow.steps}
+    in_degree: dict[str, int] = {step.id: 0 for step in workflow.steps}
+    dependents: dict[str, list[str]] = {step.id: [] for step in workflow.steps}
+    for step in workflow.steps:
+        for dep in set(step.binding_step_ids()):
+            if dep not in by_id:
+                raise WorkflowValidationError(
+                    f"step {step.id!r} depends on unknown step {dep!r}"
+                )
+            in_degree[step.id] += 1
+            dependents[dep].append(step.id)
+
+    ready = sorted(sid for sid, deg in in_degree.items() if deg == 0)
+    ordered: list[WorkflowStep] = []
+    while ready:
+        current = ready.pop(0)
+        ordered.append(by_id[current])
+        for nxt in dependents[current]:
+            in_degree[nxt] -= 1
+            if in_degree[nxt] == 0:
+                ready.append(nxt)
+        ready.sort()
+    if len(ordered) != len(workflow.steps):
+        cyclic = sorted(sid for sid, deg in in_degree.items() if deg > 0)
+        raise WorkflowValidationError(f"workflow has a cycle involving {cyclic}")
+    return ordered
+
+
+def functional_signature(workflow: CandidateWorkflow) -> set[str]:
+    """Order-insensitive summary of what the workflow *does*.
+
+    One token per step: its target (registry function or transform name).
+    Two workflows with equal signatures perform the same operations, however
+    differently they are wired — the unit of comparison for "functional
+    overlap" in the paper's case studies.
+    """
+    return {step.target for step in workflow.steps}
+
+
+def stage_kinds(workflow: CandidateWorkflow, kind_of_target: dict[str, str]) -> set[str]:
+    """Map step targets to canonical analysis-stage kinds.
+
+    ``kind_of_target`` translates a step target into a canonical stage name
+    (e.g. ``nautilus.get_cable_dependencies`` → ``dependency_resolution``).
+    Unknown targets map to themselves.
+    """
+    return {kind_of_target.get(step.target, step.target) for step in workflow.steps}
+
+
+def to_mermaid(workflow: CandidateWorkflow) -> str:
+    """Mermaid flowchart rendering for docs and expert-mode review."""
+    lines = ["flowchart TD"]
+    for step in workflow.steps:
+        shape_l, shape_r = ("[", "]") if step.step_type is StepType.REGISTRY else ("([", "])")
+        lines.append(f'    {step.id}{shape_l}"{step.target}"{shape_r}')
+    for step in workflow.steps:
+        for dep in sorted(set(step.binding_step_ids())):
+            lines.append(f"    {dep} --> {step.id}")
+    return "\n".join(lines)

@@ -1,0 +1,45 @@
+"""Plain-text rendering of case-study reports (the benchmark output rows)."""
+
+from __future__ import annotations
+
+from repro.evalharness.casestudies import CaseStudyReport
+
+
+def format_report_table(reports: list[CaseStudyReport]) -> str:
+    """Render reports as an aligned text table, one row per metric/check."""
+    rows: list[tuple[str, str, str]] = []
+    for report in reports:
+        rows.append((f"case {report.case}", "query", report.query[:68]))
+        for name, value in report.metrics.items():
+            rows.append((f"case {report.case}", name, _fmt(value)))
+        for name, passed in report.checks.items():
+            rows.append(
+                (f"case {report.case}", f"check:{name}", "PASS" if passed else "FAIL")
+            )
+    width_a = max(len(r[0]) for r in rows)
+    width_b = max(len(r[1]) for r in rows)
+    lines = [
+        f"{'case':<{width_a}}  {'metric':<{width_b}}  value",
+        "-" * (width_a + width_b + 30),
+    ]
+    for a, b, c in rows:
+        lines.append(f"{a:<{width_a}}  {b:<{width_b}}  {c}")
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    if isinstance(value, list):
+        return ", ".join(str(v) for v in value) or "(none)"
+    return str(value)
+
+
+def failed_checks(reports: list[CaseStudyReport]) -> list[str]:
+    """Flat list of failed check names, for assertions in tests/benches."""
+    out = []
+    for report in reports:
+        for name, passed in report.checks.items():
+            if not passed:
+                out.append(f"case{report.case}:{name}")
+    return out

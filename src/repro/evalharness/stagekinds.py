@@ -1,0 +1,98 @@
+"""Canonical analysis-stage vocabulary and workflow overlap scoring.
+
+Functional overlap compares what two workflows *do*, not how they are
+wired: every step target (registry function or transform) maps to a
+canonical stage kind, and overlap is the Jaccard index between kind sets —
+the quantitative form of the paper's "significant functional overlap"
+claims.
+"""
+
+from __future__ import annotations
+
+from repro.core.artifacts import WorkflowDesign
+
+#: step target → canonical analysis stage.
+TARGET_STAGE_KINDS: dict[str, str] = {
+    # Nautilus
+    "nautilus.list_cables": "cable_inventory",
+    "nautilus.get_cable_info": "cable_metadata",
+    "nautilus.get_cable_dependencies": "dependency_resolution",
+    "nautilus.geolocate_ips": "geographic_mapping",
+    "nautilus.map_ip_links_to_cables": "cross_layer_mapping",
+    "nautilus.sol_validate_link": "feasibility_validation",
+    # Xaminer
+    "xaminer.process_event": "event_processing",
+    "xaminer.country_impact": "country_aggregation",
+    "xaminer.as_impact": "as_aggregation",
+    "xaminer.risk_profile": "risk_assessment",
+    "xaminer.list_disasters": "event_catalog",
+    "xaminer.combine_impact_reports": "report_combination",
+    # BGP
+    "bgp.fetch_updates": "routing_collection",
+    "bgp.detect_routing_anomalies": "routing_anomaly_detection",
+    "bgp.summarize_path_changes": "route_change_analysis",
+    "bgp.correlate_updates_with_window": "temporal_correlation",
+    # Traceroute
+    "traceroute.run_campaign": "latency_collection",
+    "traceroute.latency_series": "series_aggregation",
+    "traceroute.detect_latency_anomalies": "anomaly_detection",
+    "traceroute.paths_crossing_links": "infrastructure_correlation",
+    # Topology
+    "topology.as_dependency_scores": "dependency_graph",
+    "topology.propagate_cascade": "cascade_modeling",
+    # Generated transforms
+    "build_report": "report",
+    "aggregate_impact_by_country": "country_aggregation",
+    "rank_countries_by_impact": "impact_ranking",
+    "split_events_by_kind": "event_partitioning",
+    "combine_reports": "report_combination",
+    "filter_cables_by_regions": "geographic_scoping",
+    "derive_initial_failures": "failure_derivation",
+    "propagate_cascade_rounds": "cascade_modeling",
+    "build_cascade_timeline": "cross_layer_synthesis",
+    "summarize_latency_anomalies": "anomaly_summary",
+    "score_suspect_cables": "suspect_scoring",
+    "synthesize_forensic_evidence": "evidence_synthesis",
+}
+
+#: Stage kinds that are data plumbing rather than analytical substance;
+#: excluded from overlap scoring so cosmetic differences don't dilute it.
+_PLUMBING = {"cable_metadata", "cable_inventory", "event_catalog", "report"}
+
+
+def design_stage_kinds(design: WorkflowDesign, include_plumbing: bool = False) -> set[str]:
+    """Canonical stage kinds a generated design performs."""
+    kinds = {
+        TARGET_STAGE_KINDS.get(step.target, step.target)
+        for step in design.chosen.steps
+    }
+    return kinds if include_plumbing else kinds - _PLUMBING
+
+
+def expert_stage_kinds(expert_output: dict, include_plumbing: bool = False) -> set[str]:
+    """Stage kinds an expert workflow declares."""
+    kinds = set(expert_output.get("stage_kinds", []))
+    return kinds if include_plumbing else kinds - _PLUMBING
+
+
+def jaccard(a: set[str], b: set[str]) -> float:
+    if not a and not b:
+        return 1.0
+    return len(a & b) / len(a | b)
+
+
+def overlap_report(design: WorkflowDesign, expert_output: dict) -> dict:
+    """Functional-overlap comparison between generated and expert workflows."""
+    generated = design_stage_kinds(design)
+    expert = expert_stage_kinds(expert_output)
+    return {
+        "generated_stages": sorted(generated),
+        "expert_stages": sorted(expert),
+        "shared": sorted(generated & expert),
+        "generated_only": sorted(generated - expert),
+        "expert_only": sorted(expert - generated),
+        "jaccard": round(jaccard(generated, expert), 4),
+        "expert_coverage": round(
+            len(generated & expert) / len(expert), 4
+        ) if expert else 1.0,
+    }

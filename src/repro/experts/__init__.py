@@ -1,0 +1,21 @@
+"""Expert baseline workflows — the paper's comparison targets.
+
+Each module is the solution a measurement specialist would hand-write for
+one case study, using the substrate frameworks directly (Xaminer's
+abstractions, the full cascade simulator, the analysis library).  The
+evaluation harness compares ArachNet's generated workflows against these on
+functional overlap and result similarity, mirroring §4's "detailed technical
+comparison".
+"""
+
+from repro.experts.case1_cable_impact import expert_cable_country_impact
+from repro.experts.case2_disasters import expert_multi_disaster_impact
+from repro.experts.case3_cascade import expert_cascade_analysis
+from repro.experts.case4_forensics import expert_forensic_investigation
+
+__all__ = [
+    "expert_cable_country_impact",
+    "expert_multi_disaster_impact",
+    "expert_cascade_analysis",
+    "expert_forensic_investigation",
+]

@@ -1,0 +1,44 @@
+"""Speed-of-light feasibility checks.
+
+Light in single-mode fiber travels at roughly two thirds of c, giving the
+canonical ~0.01 ms per km round-trip bound that Nautilus uses to reject
+geolocation candidates and infeasible cable assignments.
+"""
+
+from __future__ import annotations
+
+SPEED_OF_LIGHT_KM_PER_MS = 299.792458
+FIBER_REFRACTIVE_FACTOR = 0.66
+FIBER_SPEED_KM_PER_MS = SPEED_OF_LIGHT_KM_PER_MS * FIBER_REFRACTIVE_FACTOR
+
+
+def min_rtt_ms(distance_km: float) -> float:
+    """Lower bound on round-trip time over ``distance_km`` of fiber."""
+    if distance_km < 0:
+        raise ValueError("distance cannot be negative")
+    return 2.0 * distance_km / FIBER_SPEED_KM_PER_MS
+
+
+def max_distance_km(rtt_ms: float) -> float:
+    """Upper bound on one-way fiber distance given an observed RTT."""
+    if rtt_ms < 0:
+        raise ValueError("RTT cannot be negative")
+    return rtt_ms * FIBER_SPEED_KM_PER_MS / 2.0
+
+
+def sol_compatible(rtt_ms: float, distance_km: float, slack_ms: float = 2.0) -> bool:
+    """True when an observed RTT is physically achievable over a distance.
+
+    ``slack_ms`` absorbs serialisation and queueing; Nautilus uses a small
+    constant for the same purpose.
+    """
+    return rtt_ms + slack_ms >= min_rtt_ms(distance_km)
+
+
+def path_feasible(rtt_ms: float, path_km: float, slack_ms: float = 2.0) -> bool:
+    """True when a candidate physical path could explain an observed RTT.
+
+    The inverse check of :func:`sol_compatible`: a candidate *path* is ruled
+    out when light could not traverse it within the observed RTT.
+    """
+    return min_rtt_ms(path_km) <= rtt_ms + slack_ms

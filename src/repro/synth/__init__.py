@@ -1,0 +1,57 @@
+"""Synthetic Internet generator.
+
+This package replaces the proprietary datasets the ArachNet paper relies on
+(TeleGeography cable maps, CAIDA AS relationships, RIPE Atlas probe metadata)
+with a deterministic, seedable generator.  The generated world is shaped like
+the real artifacts: named submarine cables with landing-point sequences,
+autonomous systems with tiers and relationships, IP prefixes geolocated to
+countries, and cross-layer IP-link-to-cable assignments.
+
+The entry point is :func:`repro.synth.world.build_world`, which returns a
+:class:`repro.synth.world.SyntheticWorld` consumed by every substrate package
+(``repro.nautilus``, ``repro.xaminer``, ``repro.bgp``, ``repro.traceroute``).
+"""
+
+from repro.synth.geography import (
+    COUNTRIES,
+    Country,
+    Region,
+    country_by_code,
+    haversine_km,
+)
+from repro.synth.cables import CABLE_BLUEPRINTS, CableBlueprint, LandingPoint, SubmarineCable
+from repro.synth.ases import AutonomousSystem, ASRelationship, RelationshipKind
+from repro.synth.iplinks import IPLink, Prefix
+from repro.synth.world import SyntheticWorld, WorldConfig, build_world
+from repro.synth.scenarios import (
+    DisasterEvent,
+    DisasterKind,
+    LatencyIncident,
+    default_disaster_catalog,
+    make_latency_incident,
+)
+
+__all__ = [
+    "COUNTRIES",
+    "Country",
+    "Region",
+    "country_by_code",
+    "haversine_km",
+    "CABLE_BLUEPRINTS",
+    "CableBlueprint",
+    "LandingPoint",
+    "SubmarineCable",
+    "AutonomousSystem",
+    "ASRelationship",
+    "RelationshipKind",
+    "IPLink",
+    "Prefix",
+    "SyntheticWorld",
+    "WorldConfig",
+    "build_world",
+    "DisasterEvent",
+    "DisasterKind",
+    "LatencyIncident",
+    "default_disaster_catalog",
+    "make_latency_incident",
+]

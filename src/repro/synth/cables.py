@@ -1,0 +1,352 @@
+"""Submarine-cable substrate: landing points, segments, and a cable catalog.
+
+The blueprint catalog mirrors the shape of the TeleGeography map that the
+Nautilus paper consumes: every cable is a named sequence of landing points
+(coastal cities), materialised into per-segment geometry with great-circle
+lengths.  The catalog includes analogues of the cables named in the ArachNet
+paper — SeaMeWe-5, AAE-1 and FALCON — with their real Europe–Asia corridor
+shape, so the case-study queries resolve against realistic infrastructure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.synth.geography import (
+    CoastalCity,
+    city_by_name,
+    country_by_code,
+    haversine_km,
+    interpolate,
+)
+
+
+@dataclass(frozen=True)
+class LandingPoint:
+    """A cable landing station: a coastal city hosting one or more cables."""
+
+    id: str
+    city: str
+    country_code: str
+    lat: float
+    lon: float
+
+    @property
+    def coord(self) -> tuple[float, float]:
+        return (self.lat, self.lon)
+
+
+@dataclass(frozen=True)
+class CableSegment:
+    """A wet segment between two consecutive landing points of a cable."""
+
+    cable_id: str
+    index: int
+    src_landing: str  # landing point id
+    dst_landing: str
+    length_km: float
+
+    def sample_points(self, src: LandingPoint, dst: LandingPoint, n: int = 8) -> list[tuple[float, float]]:
+        """Sample ``n`` points along the segment for geo-intersection tests."""
+        if n < 2:
+            raise ValueError("need at least 2 sample points")
+        return [interpolate(src.coord, dst.coord, i / (n - 1)) for i in range(n)]
+
+
+@dataclass
+class SubmarineCable:
+    """A materialised submarine cable: landing sequence plus segments."""
+
+    id: str
+    name: str
+    landing_point_ids: list[str]
+    segments: list[CableSegment]
+    rfs_year: int
+    capacity_tbps: float
+    owners: tuple[str, ...] = field(default_factory=tuple)
+
+    @property
+    def length_km(self) -> float:
+        return sum(s.length_km for s in self.segments)
+
+    def country_codes(self, landing_points: dict[str, LandingPoint]) -> list[str]:
+        """Ordered, de-duplicated list of countries this cable lands in."""
+        seen: list[str] = []
+        for lp_id in self.landing_point_ids:
+            code = landing_points[lp_id].country_code
+            if code not in seen:
+                seen.append(code)
+        return seen
+
+
+@dataclass(frozen=True)
+class CableBlueprint:
+    """Declarative cable description: name plus ordered landing cities."""
+
+    name: str
+    cities: tuple[str, ...]
+    rfs_year: int
+    capacity_tbps: float
+    owners: tuple[str, ...] = ()
+
+
+#: The cable catalog.  City names refer to :data:`repro.synth.geography.COASTAL_CITIES`.
+CABLE_BLUEPRINTS: tuple[CableBlueprint, ...] = (
+    # The Europe–Asia corridor cables central to the paper's case studies.
+    CableBlueprint(
+        name="SeaMeWe-5",
+        cities=(
+            "Marseille", "Catania", "Chania", "Zafarana", "Jeddah", "Djibouti City",
+            "Karachi", "Mumbai", "Matara", "Cox's Bazar", "Ngwe Saung", "Satun",
+            "Melaka", "Tuas",
+        ),
+        rfs_year=2016,
+        capacity_tbps=24.0,
+        owners=("ConsortiumSMW5",),
+    ),
+    CableBlueprint(
+        name="AAE-1",
+        cities=(
+            "Marseille", "Suez", "Jeddah", "Aden", "Djibouti City", "Muscat",
+            "Fujairah", "Karachi", "Mumbai", "Colombo", "Songkhla", "Penang",
+            "Changi", "Da Nang", "Tseung Kwan O",
+        ),
+        rfs_year=2017,
+        capacity_tbps=40.0,
+        owners=("ConsortiumAAE1",),
+    ),
+    CableBlueprint(
+        name="FALCON",
+        cities=("Suez", "Jeddah", "Aden", "Muscat", "Dubai", "Karachi", "Mumbai"),
+        rfs_year=2006,
+        capacity_tbps=2.6,
+        owners=("GlobalCliff",),
+    ),
+    CableBlueprint(
+        name="SeaMeWe-4",
+        cities=(
+            "Marseille", "Palermo", "Alexandria", "Suez", "Jeddah", "Karachi",
+            "Mumbai", "Colombo", "Cox's Bazar", "Penang", "Tuas",
+        ),
+        rfs_year=2005,
+        capacity_tbps=4.6,
+        owners=("ConsortiumSMW4",),
+    ),
+    CableBlueprint(
+        name="IMEWE",
+        cities=("Catania", "Alexandria", "Suez", "Jeddah", "Karachi", "Mumbai"),
+        rfs_year=2010,
+        capacity_tbps=3.8,
+        owners=("ConsortiumIMEWE",),
+    ),
+    CableBlueprint(
+        name="EIG",
+        cities=("Bude", "Lisbon", "Catania", "Alexandria", "Suez", "Jeddah", "Fujairah", "Mumbai"),
+        rfs_year=2011,
+        capacity_tbps=3.8,
+        owners=("ConsortiumEIG",),
+    ),
+    # Intra-Asia
+    CableBlueprint(
+        name="APG",
+        cities=("Changi", "Da Nang", "Tseung Kwan O", "Shantou", "Toucheng", "Busan", "Chikura"),
+        rfs_year=2016,
+        capacity_tbps=54.0,
+        owners=("ConsortiumAPG",),
+    ),
+    CableBlueprint(
+        name="SJC",
+        cities=("Tuas", "Jakarta", "Batangas", "Chung Hom Kok", "Shantou", "Chikura"),
+        rfs_year=2013,
+        capacity_tbps=28.0,
+        owners=("ConsortiumSJC",),
+    ),
+    CableBlueprint(
+        name="ASE",
+        cities=("Changi", "Penang", "Batangas", "Tseung Kwan O", "Shima"),
+        rfs_year=2012,
+        capacity_tbps=15.0,
+        owners=("ConsortiumASE",),
+    ),
+    # Trans-Pacific
+    CableBlueprint(
+        name="PacLight",
+        cities=("Chikura", "Toucheng", "Los Angeles"),
+        rfs_year=2020,
+        capacity_tbps=120.0,
+        owners=("ContentCoA",),
+    ),
+    CableBlueprint(
+        name="TransPac-N",
+        cities=("Shima", "Busan", "Hillsboro"),
+        rfs_year=2018,
+        capacity_tbps=80.0,
+        owners=("ContentCoB",),
+    ),
+    CableBlueprint(
+        name="SouthernCross-X",
+        cities=("Sydney", "Auckland", "Los Angeles"),
+        rfs_year=2022,
+        capacity_tbps=72.0,
+        owners=("ConsortiumSCX",),
+    ),
+    # Trans-Atlantic
+    CableBlueprint(
+        name="Atlantica-1",
+        cities=("Bude", "New York"),
+        rfs_year=2015,
+        capacity_tbps=60.0,
+        owners=("ContentCoA",),
+    ),
+    CableBlueprint(
+        name="Amitie-X",
+        cities=("Porthcurno", "Bilbao", "Virginia Beach"),
+        rfs_year=2021,
+        capacity_tbps=96.0,
+        owners=("ContentCoB",),
+    ),
+    CableBlueprint(
+        name="Hibernia-N",
+        cities=("Bude", "Halifax", "New York"),
+        rfs_year=2014,
+        capacity_tbps=30.0,
+        owners=("TransitCoN",),
+    ),
+    # Europe–Africa and Indian Ocean
+    CableBlueprint(
+        name="WACS-2",
+        cities=("Lisbon", "Lagos", "Mtunzini"),
+        rfs_year=2012,
+        capacity_tbps=14.5,
+        owners=("ConsortiumWACS",),
+    ),
+    CableBlueprint(
+        name="EASSy-2",
+        cities=("Djibouti City", "Mombasa", "Mtunzini"),
+        rfs_year=2010,
+        capacity_tbps=10.0,
+        owners=("ConsortiumEASSY",),
+    ),
+    CableBlueprint(
+        name="SAFE-X",
+        cities=("Mtunzini", "Mombasa", "Mumbai", "Penang"),
+        rfs_year=2009,
+        capacity_tbps=6.0,
+        owners=("ConsortiumSAFE",),
+    ),
+    # Americas
+    CableBlueprint(
+        name="Monet-S",
+        cities=("Fortaleza", "Santos", "Las Toninas"),
+        rfs_year=2017,
+        capacity_tbps=64.0,
+        owners=("ConsortiumMNS",),
+    ),
+    CableBlueprint(
+        name="AmericasCrossing",
+        cities=("New York", "Cancun", "Fortaleza"),
+        rfs_year=2019,
+        capacity_tbps=48.0,
+        owners=("TransitCoN",),
+    ),
+    # Australia westward
+    CableBlueprint(
+        name="OMR-West",
+        cities=("Perth", "Jakarta", "Tuas"),
+        rfs_year=2018,
+        capacity_tbps=40.0,
+        owners=("ConsortiumOMR",),
+    ),
+    # Mediterranean shorties
+    CableBlueprint(
+        name="MedLoop",
+        cities=("Marseille", "Palermo", "Chania", "Istanbul"),
+        rfs_year=2019,
+        capacity_tbps=16.0,
+        owners=("TransitCoM",),
+    ),
+    CableBlueprint(
+        name="Hawk-3",
+        cities=("Toulon", "Alexandria"),
+        rfs_year=2013,
+        capacity_tbps=12.0,
+        owners=("TransitCoM",),
+    ),
+)
+
+
+def _landing_point_id(city: CoastalCity) -> str:
+    slug = city.name.lower().replace(" ", "-").replace("'", "")
+    return f"lp-{city.country_code.lower()}-{slug}"
+
+
+def build_landing_points() -> dict[str, LandingPoint]:
+    """Materialise a landing point for every coastal city in the catalog."""
+    points: dict[str, LandingPoint] = {}
+    from repro.synth.geography import COASTAL_CITIES
+
+    for city in COASTAL_CITIES:
+        # Validate the country code early: a typo here would surface as a
+        # confusing KeyError deep inside impact aggregation.
+        country_by_code(city.country_code)
+        lp = LandingPoint(
+            id=_landing_point_id(city),
+            city=city.name,
+            country_code=city.country_code,
+            lat=city.lat,
+            lon=city.lon,
+        )
+        points[lp.id] = lp
+    return points
+
+
+def build_cables(landing_points: dict[str, LandingPoint]) -> dict[str, SubmarineCable]:
+    """Materialise every blueprint into a cable with per-segment geometry."""
+    by_city = {lp.city: lp for lp in landing_points.values()}
+    cables: dict[str, SubmarineCable] = {}
+    for blueprint in CABLE_BLUEPRINTS:
+        cable_id = "cable-" + blueprint.name.lower().replace(" ", "-")
+        lp_ids: list[str] = []
+        for city_name in blueprint.cities:
+            city_by_name(city_name)  # raises KeyError on catalog drift
+            lp_ids.append(by_city[city_name].id)
+        segments: list[CableSegment] = []
+        for i in range(len(lp_ids) - 1):
+            src = landing_points[lp_ids[i]]
+            dst = landing_points[lp_ids[i + 1]]
+            # Wet segments are longer than the great circle; 1.2 is a common
+            # slack factor for route planning around bathymetry.
+            length = haversine_km(src.coord, dst.coord) * 1.2
+            segments.append(
+                CableSegment(
+                    cable_id=cable_id,
+                    index=i,
+                    src_landing=src.id,
+                    dst_landing=dst.id,
+                    length_km=length,
+                )
+            )
+        cables[cable_id] = SubmarineCable(
+            id=cable_id,
+            name=blueprint.name,
+            landing_point_ids=lp_ids,
+            segments=segments,
+            rfs_year=blueprint.rfs_year,
+            capacity_tbps=blueprint.capacity_tbps,
+            owners=blueprint.owners,
+        )
+    return cables
+
+
+def cable_by_name(cables: dict[str, SubmarineCable], name: str) -> SubmarineCable:
+    """Case-insensitive cable lookup by human name.
+
+    Raises ``KeyError`` with the list of known names to make agent errors
+    actionable.
+    """
+    wanted = name.strip().lower()
+    for cable in cables.values():
+        if cable.name.lower() == wanted:
+            return cable
+    known = sorted(c.name for c in cables.values())
+    raise KeyError(f"unknown cable {name!r}; known cables: {known}")

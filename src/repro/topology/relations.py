@@ -1,0 +1,85 @@
+"""AS relationship graph: typed adjacency over the world's business edges."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.synth.ases import RelationshipKind
+from repro.synth.world import SyntheticWorld
+
+
+@dataclass
+class ASGraph:
+    """Typed AS adjacency: per-AS provider/customer/peer neighbour sets."""
+
+    providers: dict[int, set[int]] = field(default_factory=dict)
+    customers: dict[int, set[int]] = field(default_factory=dict)
+    peers: dict[int, set[int]] = field(default_factory=dict)
+    all_asns: set[int] = field(default_factory=set)
+
+    @classmethod
+    def from_world(cls, world: SyntheticWorld) -> "ASGraph":
+        graph = cls()
+        graph.all_asns = set(world.ases.keys())
+        for asn in graph.all_asns:
+            graph.providers[asn] = set()
+            graph.customers[asn] = set()
+            graph.peers[asn] = set()
+        for rel in world.relationships:
+            if rel.kind is RelationshipKind.CUSTOMER_PROVIDER:
+                graph.providers[rel.a].add(rel.b)
+                graph.customers[rel.b].add(rel.a)
+            else:
+                graph.peers[rel.a].add(rel.b)
+                graph.peers[rel.b].add(rel.a)
+        return graph
+
+    def without_pairs(self, dead_pairs: set[tuple[int, int]]) -> "ASGraph":
+        """A copy of the graph with the given AS adjacencies removed.
+
+        ``dead_pairs`` contains normalised ``(min, max)`` tuples — the output
+        of :func:`failed_as_pairs`.
+        """
+        pruned = ASGraph(all_asns=set(self.all_asns))
+
+        def alive(a: int, b: int) -> bool:
+            return (min(a, b), max(a, b)) not in dead_pairs
+
+        for asn in self.all_asns:
+            pruned.providers[asn] = {p for p in self.providers[asn] if alive(asn, p)}
+            pruned.customers[asn] = {c for c in self.customers[asn] if alive(asn, c)}
+            pruned.peers[asn] = {p for p in self.peers[asn] if alive(asn, p)}
+        return pruned
+
+    def degree(self, asn: int) -> int:
+        return len(self.providers[asn]) + len(self.customers[asn]) + len(self.peers[asn])
+
+    def to_networkx(self) -> nx.Graph:
+        """Undirected view for connectivity analysis."""
+        graph = nx.Graph()
+        graph.add_nodes_from(self.all_asns)
+        for asn in self.all_asns:
+            for other in self.providers[asn] | self.peers[asn]:
+                graph.add_edge(asn, other)
+        return graph
+
+
+def failed_as_pairs(world: SyntheticWorld, failed_link_ids: list[str]) -> set[tuple[int, int]]:
+    """AS adjacencies severed by a link-failure set.
+
+    An adjacency dies only when *every* parallel IP link between the pair is
+    down — transit pairs usually keep redundant links, which is why cable
+    cuts degrade rather than partition.
+    """
+    failed = set(failed_link_ids)
+    links_per_pair: dict[tuple[int, int], list[str]] = {}
+    for link in world.ip_links:
+        links_per_pair.setdefault(link.as_pair, []).append(link.id)
+    dead: set[tuple[int, int]] = set()
+    for pair, link_ids in links_per_pair.items():
+        if all(link_id in failed for link_id in link_ids):
+            if any(link_id in failed for link_id in link_ids):
+                dead.add(pair)
+    return dead

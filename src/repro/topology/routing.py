@@ -1,0 +1,77 @@
+"""Valley-free policy routing over the AS graph.
+
+Implements the Gao-Rexford export model: a path climbs customer→provider
+edges, crosses at most one peering edge, then descends provider→customer.
+Shortest valley-free paths drive both the BGP collector simulation (AS paths
+in announcements) and the traceroute substrate (which IP links a probe's
+packets traverse).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.topology.relations import ASGraph
+
+#: Phases of a valley-free walk, in the direction source → destination.
+_CLIMBING = 0  # still allowed to go up or take the single lateral step
+_DESCENDING = 1  # only provider→customer edges remain legal
+
+
+class ValleyFreeRouter:
+    """Single-source shortest valley-free paths with deterministic tie-breaks."""
+
+    def __init__(self, graph: ASGraph):
+        self._graph = graph
+        self._cache: dict[int, dict[int, tuple[int, ...]]] = {}
+
+    def paths_from(self, src: int) -> dict[int, tuple[int, ...]]:
+        """Shortest valley-free path from ``src`` to every reachable AS.
+
+        BFS over ``(asn, phase)`` states; neighbour expansion is sorted so
+        equal-length paths resolve identically across runs.
+        """
+        if src in self._cache:
+            return self._cache[src]
+        graph = self._graph
+        if src not in graph.all_asns:
+            raise KeyError(f"unknown AS {src}")
+
+        best: dict[tuple[int, int], tuple[int, ...]] = {(src, _CLIMBING): (src,)}
+        result: dict[int, tuple[int, ...]] = {src: (src,)}
+        queue: deque[tuple[int, int]] = deque([(src, _CLIMBING)])
+
+        while queue:
+            asn, phase = queue.popleft()
+            path = best[(asn, phase)]
+            candidates: list[tuple[int, int]] = []
+            if phase == _CLIMBING:
+                candidates.extend((p, _CLIMBING) for p in sorted(graph.providers[asn]))
+                candidates.extend((p, _DESCENDING) for p in sorted(graph.peers[asn]))
+            candidates.extend((c, _DESCENDING) for c in sorted(graph.customers[asn]))
+
+            for nxt, nxt_phase in candidates:
+                if nxt in path:
+                    continue  # no loops
+                state = (nxt, nxt_phase)
+                if state in best:
+                    continue
+                new_path = path + (nxt,)
+                best[state] = new_path
+                if nxt not in result or len(new_path) < len(result[nxt]):
+                    result[nxt] = new_path
+                queue.append(state)
+
+        self._cache[src] = result
+        return result
+
+    def best_path(self, src: int, dst: int) -> tuple[int, ...] | None:
+        """Shortest valley-free path, or ``None`` when policy forbids any."""
+        return self.paths_from(src).get(dst)
+
+    def reachable_from(self, src: int) -> set[int]:
+        return set(self.paths_from(src).keys())
+
+    def invalidate(self) -> None:
+        """Drop cached paths (call after mutating the underlying graph)."""
+        self._cache.clear()

@@ -1,0 +1,81 @@
+"""Registry-facing traceroute functions.
+
+``run_campaign`` accepts region names as strings (agents speak JSON) and the
+ambient ``incidents`` the measurement context injects; rows come back as
+plain dicts for downstream adaptation.
+"""
+
+from __future__ import annotations
+
+from repro.traceroute.anomaly import detect_series_anomalies
+from repro.traceroute.campaign import CampaignSpec, run_campaign_spec
+from repro.traceroute.series import LatencyBin, latency_series_from_rows
+from repro.synth.geography import Region
+from repro.synth.world import SyntheticWorld
+
+
+def run_campaign(
+    world: SyntheticWorld,
+    src_region: str,
+    dst_region: str,
+    window_start: float,
+    window_end: float,
+    interval_s: float = 3600.0,
+    incidents: list | None = None,
+) -> list[dict]:
+    """Periodic traceroutes from one region to another, as dict rows."""
+    spec = CampaignSpec(
+        src_region=Region(src_region),
+        dst_region=Region(dst_region),
+        window_start=window_start,
+        window_end=window_end,
+        interval_s=interval_s,
+    )
+    measurements = run_campaign_spec(world, spec, incidents or [])
+    return [m.to_dict() for m in measurements]
+
+
+def latency_series(
+    measurement_rows: list[dict],
+    group_by: str = "pair",
+    bin_seconds: float = 3600.0,
+) -> dict[str, list[dict]]:
+    """Binned latency series from measurement rows."""
+    series = latency_series_from_rows(measurement_rows, group_by, bin_seconds)
+    return {key: [b.to_dict() for b in bins] for key, bins in series.items()}
+
+
+def detect_latency_anomalies(
+    series_rows: dict[str, list[dict]],
+    min_increase_pct: float = 10.0,
+    alpha: float = 0.01,
+) -> list[dict]:
+    """Significant latency level shifts from serialised series rows."""
+    series = {
+        key: [
+            LatencyBin(
+                bin_start=row["bin_start"],
+                median_rtt_ms=row["median_rtt_ms"],
+                sample_count=row["sample_count"],
+                loss_count=row["loss_count"],
+            )
+            for row in rows
+        ]
+        for key, rows in series_rows.items()
+    }
+    anomalies = detect_series_anomalies(series, min_increase_pct, alpha)
+    return [a.to_dict() for a in anomalies]
+
+
+def paths_crossing_links(measurement_rows: list[dict], link_ids: list[str]) -> list[dict]:
+    """Measurements whose forwarding path crossed any of the given links.
+
+    The forensic workflow uses this to tie anomalous (src, dst) pairs back to
+    candidate physical infrastructure.
+    """
+    wanted = set(link_ids)
+    out = []
+    for row in measurement_rows:
+        if wanted.intersection(row.get("link_ids", ())):
+            out.append(row)
+    return out

@@ -1,0 +1,114 @@
+"""Measurement campaigns: periodic traceroutes from probes to targets.
+
+A campaign runs probes in one region against targets in another at a fixed
+interval over a time window.  Active incidents gate which links exist at
+each measurement's timestamp, so the produced series carries the incident's
+latency signature with the correct onset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.traceroute.probes import Probe, build_probe_fleet, probes_in_region, targets_in_region
+from repro.traceroute.rtt import PathResolver
+from repro.synth.geography import Region
+from repro.synth.scenarios import LatencyIncident
+from repro.synth.world import SyntheticWorld
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """What to measure, from where, how often."""
+
+    src_region: Region
+    dst_region: Region
+    window_start: float
+    window_end: float
+    interval_s: float = 3600.0
+    probe_density: float = 1.0
+    targets_per_country: int = 1
+
+    def __post_init__(self) -> None:
+        if self.window_end <= self.window_start:
+            raise ValueError("window_end must be after window_start")
+        if self.interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+
+
+@dataclass(frozen=True)
+class TracerouteMeasurement:
+    """One traceroute result (RTT ``None`` means the target was unreachable)."""
+
+    ts: float
+    probe_id: str
+    src_country: str
+    src_asn: int
+    dst_asn: int
+    dst_country: str
+    rtt_ms: float | None
+    hop_count: int
+    link_ids: tuple[str, ...] = field(default=())
+
+    def to_dict(self) -> dict:
+        return {
+            "ts": self.ts,
+            "probe_id": self.probe_id,
+            "src_country": self.src_country,
+            "src_asn": self.src_asn,
+            "dst_asn": self.dst_asn,
+            "dst_country": self.dst_country,
+            "rtt_ms": round(self.rtt_ms, 3) if self.rtt_ms is not None else None,
+            "hop_count": self.hop_count,
+            "link_ids": list(self.link_ids),
+        }
+
+
+def _failed_links_at(
+    world: SyntheticWorld, incidents: list[LatencyIncident], ts: float
+) -> frozenset[str]:
+    """Links dead at time ``ts`` given the active incidents."""
+    dead: set[str] = set()
+    for incident in incidents:
+        if ts >= incident.onset:
+            cable = world.cable_named(incident.cable_name)
+            dead.update(link.id for link in world.links_on_cable(cable.id))
+    return frozenset(dead)
+
+
+def run_campaign_spec(
+    world: SyntheticWorld,
+    spec: CampaignSpec,
+    incidents: list[LatencyIncident] | None = None,
+    resolver: PathResolver | None = None,
+) -> list[TracerouteMeasurement]:
+    """Execute a campaign and return every measurement, time-ordered."""
+    incidents = list(incidents or [])
+    resolver = resolver or PathResolver(world)
+    probes = probes_in_region(world, build_probe_fleet(world, spec.probe_density), spec.src_region)
+    targets = targets_in_region(world, spec.dst_region, spec.targets_per_country)
+
+    measurements: list[TracerouteMeasurement] = []
+    ts = spec.window_start
+    while ts < spec.window_end:
+        failed = _failed_links_at(world, incidents, ts)
+        for probe in probes:
+            for dst_asn in targets:
+                if dst_asn == probe.asn:
+                    continue
+                rtt, path = resolver.measured_rtt_ms(probe.asn, dst_asn, ts, failed)
+                measurements.append(
+                    TracerouteMeasurement(
+                        ts=ts,
+                        probe_id=probe.id,
+                        src_country=probe.country_code,
+                        src_asn=probe.asn,
+                        dst_asn=dst_asn,
+                        dst_country=world.ases[dst_asn].country_code,
+                        rtt_ms=rtt,
+                        hop_count=path.hop_count if path else 0,
+                        link_ids=path.link_ids if path else (),
+                    )
+                )
+        ts += spec.interval_s
+    return measurements

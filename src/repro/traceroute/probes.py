@@ -1,0 +1,79 @@
+"""Probe fleet generation: Atlas-shaped vantage points in edge networks."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.synth.ases import ASType
+from repro.synth.geography import Region
+from repro.synth.world import SyntheticWorld
+
+_PROBE_SEED = 23
+
+
+@dataclass(frozen=True)
+class Probe:
+    """One measurement vantage point."""
+
+    id: str
+    country_code: str
+    asn: int
+    lat: float
+    lon: float
+
+    @property
+    def coord(self) -> tuple[float, float]:
+        return (self.lat, self.lon)
+
+
+def build_probe_fleet(world: SyntheticWorld, density: float = 1.0) -> list[Probe]:
+    """Deterministic probe fleet, roughly ``weight * density`` per country.
+
+    Probes attach to access or content ASes (never pure transit), mirroring
+    where Atlas probes actually sit.
+    """
+    rng = random.Random(_PROBE_SEED)
+    probes: list[Probe] = []
+    for country in sorted(world.countries.values(), key=lambda c: c.code):
+        hosts = [
+            a
+            for a in world.ases_in_country(country.code)
+            if a.as_type in (ASType.ACCESS, ASType.CONTENT, ASType.ENTERPRISE)
+        ]
+        if not hosts:
+            hosts = world.ases_in_country(country.code)
+        if not hosts:
+            continue
+        count = max(1, round(country.weight * density))
+        for i in range(count):
+            host = hosts[i % len(hosts)]
+            probes.append(
+                Probe(
+                    id=f"probe-{country.code.lower()}-{i}",
+                    country_code=country.code,
+                    asn=host.asn,
+                    lat=country.lat + rng.uniform(-1.5, 1.5),
+                    lon=country.lon + rng.uniform(-1.5, 1.5),
+                )
+            )
+    return probes
+
+
+def probes_in_region(world: SyntheticWorld, probes: list[Probe], region: Region) -> list[Probe]:
+    """Probes homed in a continental region."""
+    return [p for p in probes if world.country(p.country_code).region == region]
+
+
+def targets_in_region(world: SyntheticWorld, region: Region, per_country: int = 2) -> list[int]:
+    """Measurement target ASNs in a region (content networks preferred)."""
+    targets: list[int] = []
+    for country in sorted(world.countries.values(), key=lambda c: c.code):
+        if country.region != region:
+            continue
+        candidates = sorted(
+            world.ases_in_country(country.code),
+            key=lambda a: (a.as_type is not ASType.CONTENT, a.asn),
+        )
+        targets.extend(a.asn for a in candidates[:per_country])
+    return targets

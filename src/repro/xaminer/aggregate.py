@@ -1,0 +1,95 @@
+"""Country- and AS-level embeddings over impact reports.
+
+Xaminer's "sophisticated embedding modules" (§4.1 of the ArachNet paper)
+aggregate cross-layer metrics into normalised per-entity vectors.  Case study
+1 contrasts this architecture with ArachNet's direct pipeline: both must land
+on the same *numbers*, which is what the evaluation harness checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.xaminer.impact import ImpactReport
+from repro.synth.world import SyntheticWorld
+
+
+@dataclass(frozen=True)
+class CountryEmbedding:
+    """Normalised impact vector for one country."""
+
+    country_code: str
+    ip_fraction: float
+    link_fraction: float
+    as_fraction: float
+    as_link_fraction: float
+    capacity_fraction: float
+
+    @property
+    def score(self) -> float:
+        return (
+            self.ip_fraction
+            + self.link_fraction
+            + self.as_fraction
+            + self.as_link_fraction
+            + self.capacity_fraction
+        ) / 5.0
+
+    def to_dict(self) -> dict:
+        return {
+            "country": self.country_code,
+            "ip_fraction": round(self.ip_fraction, 6),
+            "link_fraction": round(self.link_fraction, 6),
+            "as_fraction": round(self.as_fraction, 6),
+            "as_link_fraction": round(self.as_link_fraction, 6),
+            "capacity_fraction": round(self.capacity_fraction, 6),
+            "score": round(self.score, 6),
+        }
+
+
+def country_impact_embeddings(report: ImpactReport) -> dict[str, CountryEmbedding]:
+    """Build normalised embeddings for every country in a report."""
+    out: dict[str, CountryEmbedding] = {}
+    for code, impact in report.by_country.items():
+        def frac(num: float, den: float) -> float:
+            return num / den if den else 0.0
+
+        out[code] = CountryEmbedding(
+            country_code=code,
+            ip_fraction=frac(impact.ips_affected, impact.ips_total),
+            link_fraction=frac(impact.links_affected, impact.links_total),
+            as_fraction=frac(impact.ases_affected, impact.ases_total),
+            as_link_fraction=frac(impact.as_links_affected, impact.as_links_total),
+            capacity_fraction=frac(impact.capacity_lost_gbps, impact.capacity_total_gbps),
+        )
+    return out
+
+
+def rank_countries(report: ImpactReport, top: int | None = None) -> list[dict]:
+    """Countries ranked by embedding score, most impacted first."""
+    embeddings = country_impact_embeddings(report)
+    ranked = sorted(embeddings.values(), key=lambda e: e.score, reverse=True)
+    rows = [e.to_dict() for e in ranked if e.score > 0]
+    return rows[:top] if top is not None else rows
+
+
+def as_impact_embeddings(world: SyntheticWorld, report: ImpactReport) -> list[dict]:
+    """Per-AS affected-link fractions, most impacted first."""
+    rows: list[dict] = []
+    for asn, affected in report.by_asn.items():
+        total = len(world.links_by_asn.get(asn, []))
+        asys = world.ases[asn]
+        rows.append(
+            {
+                "asn": asn,
+                "name": asys.name,
+                "country": asys.country_code,
+                "tier": asys.tier,
+                "links_affected": affected,
+                "links_total": total,
+                "fraction": round(affected / total, 6) if total else 0.0,
+                "isolated": asn in set(report.isolated_asns),
+            }
+        )
+    rows.sort(key=lambda r: (r["fraction"], r["links_affected"]), reverse=True)
+    return rows

@@ -1,0 +1,137 @@
+"""Monte Carlo impact sweeps: distributional answers for probabilistic events.
+
+A single Bernoulli draw (``process_event``) answers "what might happen";
+operators usually need "what happens on average, and how bad is the tail".
+The sweep repeats the footprint → failure → impact pipeline across seeds and
+aggregates per-country score distributions plus failure frequencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.xaminer.aggregate import rank_countries
+from repro.xaminer.events import event_footprint
+from repro.xaminer.failures import simulate_failures
+from repro.xaminer.impact import compute_impact
+from repro.synth.scenarios import DisasterEvent
+from repro.synth.world import SyntheticWorld
+
+
+@dataclass
+class MonteCarloSummary:
+    """Aggregated outcome of a Monte Carlo impact sweep."""
+
+    event_id: str
+    trials: int
+    failure_probability: float
+    cable_failure_frequency: dict[str, float] = field(default_factory=dict)
+    mean_capacity_lost_gbps: float = 0.0
+    p95_capacity_lost_gbps: float = 0.0
+    country_mean_score: dict[str, float] = field(default_factory=dict)
+    country_p95_score: dict[str, float] = field(default_factory=dict)
+    no_failure_fraction: float = 0.0
+
+    def ranked_countries(self, top: int | None = None) -> list[dict]:
+        rows = [
+            {"country": code, "mean_score": round(mean, 6),
+             "p95_score": round(self.country_p95_score.get(code, 0.0), 6)}
+            for code, mean in sorted(
+                self.country_mean_score.items(), key=lambda kv: kv[1], reverse=True
+            )
+            if mean > 0
+        ]
+        return rows[:top] if top is not None else rows
+
+    def to_dict(self) -> dict:
+        return {
+            "event_id": self.event_id,
+            "trials": self.trials,
+            "failure_probability": self.failure_probability,
+            "cable_failure_frequency": {
+                k: round(v, 4) for k, v in sorted(self.cable_failure_frequency.items())
+            },
+            "mean_capacity_lost_gbps": round(self.mean_capacity_lost_gbps, 1),
+            "p95_capacity_lost_gbps": round(self.p95_capacity_lost_gbps, 1),
+            "country_ranking": self.ranked_countries(25),
+            "no_failure_fraction": round(self.no_failure_fraction, 4),
+        }
+
+
+def monte_carlo_impact(
+    world: SyntheticWorld,
+    event: DisasterEvent | dict,
+    failure_probability: float,
+    trials: int = 100,
+    base_seed: int = 0,
+) -> MonteCarloSummary:
+    """Run ``trials`` independent failure draws and aggregate the impact.
+
+    Deterministic for a given ``base_seed``: trial *i* uses seed
+    ``base_seed + i`` (each additionally mixed with the event id inside the
+    failure sampler).
+    """
+    if trials < 1:
+        raise ValueError("trials must be at least 1")
+    from repro.xaminer.api import _coerce_event
+
+    event = _coerce_event(world, event)
+    footprint = event_footprint(world, event)
+
+    summary = MonteCarloSummary(
+        event_id=event.id, trials=trials, failure_probability=failure_probability
+    )
+    capacity_losses: list[float] = []
+    failure_counts: dict[str, int] = {}
+    score_sums: dict[str, float] = {}
+    score_samples: dict[str, list[float]] = {}
+    no_failures = 0
+
+    for trial in range(trials):
+        sample = simulate_failures(
+            world, footprint, failure_probability, seed=base_seed + trial
+        )
+        if not sample.failed_cable_ids:
+            no_failures += 1
+            capacity_losses.append(0.0)
+            continue
+        for cable_id in sample.failed_cable_ids:
+            failure_counts[cable_id] = failure_counts.get(cable_id, 0) + 1
+        report = compute_impact(world, sample.failed_link_ids)
+        capacity_losses.append(report.to_dict()["total_capacity_lost_gbps"])
+        for row in rank_countries(report):
+            code = row["country"]
+            score_sums[code] = score_sums.get(code, 0.0) + row["score"]
+            score_samples.setdefault(code, []).append(row["score"])
+
+    summary.no_failure_fraction = no_failures / trials
+    summary.cable_failure_frequency = {
+        cable_id: count / trials for cable_id, count in failure_counts.items()
+    }
+    summary.mean_capacity_lost_gbps = sum(capacity_losses) / trials
+    ordered_losses = sorted(capacity_losses)
+    p95_index = min(len(ordered_losses) - 1, int(0.95 * len(ordered_losses)))
+    summary.p95_capacity_lost_gbps = ordered_losses[p95_index]
+    summary.country_mean_score = {
+        code: total / trials for code, total in score_sums.items()
+    }
+    for code, samples in score_samples.items():
+        padded = sorted(samples + [0.0] * (trials - len(samples)))
+        summary.country_p95_score[code] = padded[
+            min(len(padded) - 1, int(0.95 * len(padded)))
+        ]
+    return summary
+
+
+def monte_carlo_sweep(
+    world: SyntheticWorld,
+    event: DisasterEvent | dict,
+    probabilities: list[float],
+    trials: int = 50,
+    base_seed: int = 0,
+) -> list[MonteCarloSummary]:
+    """Sweep failure probability; expected losses must grow monotonically."""
+    return [
+        monte_carlo_impact(world, event, p, trials=trials, base_seed=base_seed)
+        for p in probabilities
+    ]

@@ -1,0 +1,65 @@
+"""Country risk profiles: structural dependency on submarine cables.
+
+Answers "how exposed is country X before anything fails": how much of its
+international capacity rides each cable, how concentrated that dependency is
+(Herfindahl index), and which single cable would hurt most.
+"""
+
+from __future__ import annotations
+
+from repro.synth.iplinks import LinkKind
+from repro.synth.world import SyntheticWorld
+
+
+def country_cable_capacity(world: SyntheticWorld, country_code: str) -> dict[str, float]:
+    """Submarine capacity touching a country, broken down by cable."""
+    capacity: dict[str, float] = {}
+    for link in world.submarine_links():
+        if country_code not in (link.country_a, link.country_b):
+            continue
+        if link.cable_id is None:
+            continue
+        capacity[link.cable_id] = capacity.get(link.cable_id, 0.0) + link.capacity_gbps
+    return capacity
+
+
+def country_risk_profile(world: SyntheticWorld, country_code: str) -> dict:
+    """Structural risk profile for one country.
+
+    ``herfindahl`` is the sum of squared capacity shares: 1.0 means all
+    international capacity on one cable, 1/n means evenly spread over n.
+    """
+    if country_code not in world.countries:
+        raise KeyError(f"unknown country code {country_code!r}")
+    by_cable = country_cable_capacity(world, country_code)
+    total = sum(by_cable.values())
+    shares = {cid: cap / total for cid, cap in by_cable.items()} if total else {}
+    herfindahl = sum(s * s for s in shares.values())
+    dominant = max(shares.items(), key=lambda kv: kv[1]) if shares else (None, 0.0)
+    terrestrial = sum(
+        link.capacity_gbps
+        for link in world.ip_links
+        if link.kind is LinkKind.TERRESTRIAL
+        and country_code in (link.country_a, link.country_b)
+    )
+    return {
+        "country": country_code,
+        "submarine_capacity_gbps": round(total, 1),
+        "terrestrial_capacity_gbps": round(terrestrial, 1),
+        "cable_count": len(by_cable),
+        "capacity_by_cable": {cid: round(cap, 1) for cid, cap in sorted(by_cable.items())},
+        "dominant_cable": dominant[0],
+        "dominant_share": round(dominant[1], 4),
+        "herfindahl": round(herfindahl, 4),
+    }
+
+
+def most_exposed_countries(world: SyntheticWorld, top: int = 10) -> list[dict]:
+    """Countries ranked by single-cable dependency (dominant share)."""
+    profiles = [
+        country_risk_profile(world, code)
+        for code in world.countries
+    ]
+    with_cables = [p for p in profiles if p["cable_count"] > 0]
+    with_cables.sort(key=lambda p: (p["dominant_share"], p["herfindahl"]), reverse=True)
+    return with_cables[:top]

@@ -1,0 +1,45 @@
+"""Shared fixtures: one world per session, plus common catalogs."""
+
+import pytest
+
+from repro.core.catalog import MeasurementContext, ToolCatalog
+from repro.core.registry import default_registry
+from repro.synth.scenarios import make_latency_incident
+from repro.synth.world import WorldConfig, build_world
+
+
+@pytest.fixture(scope="session")
+def world():
+    """The default deterministic world, shared by the whole test session."""
+    return build_world(WorldConfig())
+
+
+@pytest.fixture(scope="session")
+def small_world():
+    """A smaller world for tests that rebuild state frequently."""
+    return build_world(WorldConfig(seed=3, tier1_count=6, tier2_per_region=2,
+                                   edge_density=0.5))
+
+
+@pytest.fixture(scope="session")
+def registry():
+    return default_registry()
+
+
+@pytest.fixture()
+def catalog(world, registry):
+    """A catalog over the shared world with no active incidents."""
+    return ToolCatalog(registry, MeasurementContext(world=world))
+
+
+@pytest.fixture(scope="session")
+def incident(world):
+    """The canonical forensic incident: SeaMeWe-5 fails three days ago."""
+    return make_latency_incident(world, "SeaMeWe-5")
+
+
+@pytest.fixture()
+def incident_catalog(world, registry, incident):
+    return ToolCatalog(
+        registry, MeasurementContext(world=world, incidents=[incident])
+    )

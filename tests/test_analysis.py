@@ -1,0 +1,196 @@
+"""Analysis layer: statistics, change points, correlation, scoring, evidence."""
+
+import pytest
+
+from repro.analysis.changepoint import binary_segmentation, cusum_change_point, shift_magnitude
+from repro.analysis.correlate import count_in_window, onset_agreement, temporal_correlation
+from repro.analysis.evidence import EvidenceItem, synthesize_evidence
+from repro.analysis.scoring import rank_suspects, score_gap
+from repro.analysis.stats import mad, mean, median, percentile, robust_zscores, stdev, summarize
+
+
+# -- stats -----------------------------------------------------------------------
+
+def test_median_odd_even():
+    assert median([3.0, 1.0, 2.0]) == 2.0
+    assert median([4.0, 1.0, 2.0, 3.0]) == 2.5
+
+
+def test_median_empty_raises():
+    with pytest.raises(ValueError):
+        median([])
+
+
+def test_mad_zero_for_constant():
+    assert mad([5.0] * 10) == 0.0
+
+
+def test_robust_zscores_flag_outlier():
+    values = [10.0] * 20 + [100.0]
+    scores = robust_zscores(values)
+    assert scores[-1] > 5
+    assert abs(scores[0]) < 1
+
+
+def test_robust_zscores_constant_series():
+    scores = robust_zscores([7.0] * 5)
+    assert scores == [0.0] * 5
+
+
+def test_percentile_bounds():
+    values = list(map(float, range(1, 101)))
+    assert percentile(values, 0) == 1.0
+    assert percentile(values, 100) == 100.0
+    assert percentile(values, 50) == 50.0
+    with pytest.raises(ValueError):
+        percentile(values, 101)
+
+
+def test_summarize_fields():
+    out = summarize([1.0, 2.0, 3.0])
+    assert out["count"] == 3
+    assert out["mean"] == 2.0
+    assert summarize([]) == {"count": 0}
+
+
+def test_mean_stdev():
+    assert mean([2.0, 4.0]) == 3.0
+    assert stdev([2.0, 2.0]) == 0.0
+
+
+# -- change points -----------------------------------------------------------------
+
+def test_cusum_location_and_magnitude():
+    values = [10.0] * 15 + [20.0] * 15
+    idx = cusum_change_point(values)
+    assert idx is not None and 13 <= idx <= 17
+    assert shift_magnitude(values, idx) == pytest.approx(10.0, abs=1.5)
+
+
+def test_cusum_too_short():
+    assert cusum_change_point([1.0, 2.0, 3.0]) is None
+
+
+def test_binary_segmentation_two_shifts():
+    values = [10.0] * 20 + [30.0] * 20 + [5.0] * 20
+    points = binary_segmentation(values, min_shift=5.0)
+    assert len(points) >= 2
+    assert any(15 <= p <= 25 for p in points)
+    assert any(35 <= p <= 45 for p in points)
+
+
+def test_shift_magnitude_range_check():
+    with pytest.raises(ValueError):
+        shift_magnitude([1.0, 2.0], 0)
+
+
+# -- correlation ---------------------------------------------------------------------
+
+def test_onset_agreement_perfect_and_decay():
+    perfect = onset_agreement(100.0, 100.0)
+    assert perfect["agreement"] == 1.0
+    half = onset_agreement(0.0, 3600.0, tolerance_s=7200.0)
+    assert half["agreement"] == pytest.approx(0.5)
+    assert onset_agreement(0.0, 10_000.0, tolerance_s=7200.0)["agrees"] is False
+
+
+def test_onset_agreement_rejects_bad_tolerance():
+    with pytest.raises(ValueError):
+        onset_agreement(0.0, 1.0, tolerance_s=0.0)
+
+
+def test_temporal_correlation_aligned_series():
+    a = [0.0] * 10 + [10.0] * 10
+    result = temporal_correlation(a, list(a))
+    assert result["best_lag"] == 0
+    assert result["correlation"] > 0.95
+
+
+def test_temporal_correlation_lagged_series():
+    base = [0.0] * 10 + [10.0] * 10 + [0.0] * 10
+    lagged = base[3:] + [0.0] * 3
+    result = temporal_correlation(lagged, base, max_lag=5)
+    assert result["best_lag"] == 3
+
+
+def test_count_in_window():
+    assert count_in_window([1.0, 2.0, 3.0], 1.5, 3.5) == 2
+    with pytest.raises(ValueError):
+        count_in_window([], 5.0, 1.0)
+
+
+# -- scoring --------------------------------------------------------------------------
+
+def test_rank_suspects_ordering():
+    rows = [
+        {"id": "a", "votes": 10.0, "coverage": 1.0},
+        {"id": "b", "votes": 5.0, "coverage": 0.5},
+        {"id": "c", "votes": 0.0, "coverage": 0.0},
+    ]
+    ranked = rank_suspects(rows, weights={"votes": 0.7, "coverage": 0.3})
+    assert [r["id"] for r in ranked] == ["a", "b", "c"]
+    assert ranked[0]["score"] == pytest.approx(1.0)
+    assert ranked[-1]["score"] == pytest.approx(0.0)
+
+
+def test_rank_suspects_missing_feature_is_zero():
+    ranked = rank_suspects([{"id": "a"}, {"id": "b", "votes": 3.0}],
+                           weights={"votes": 1.0})
+    assert ranked[0]["id"] == "b"
+
+
+def test_rank_suspects_requires_weights():
+    with pytest.raises(ValueError):
+        rank_suspects([{"id": "a"}], weights={})
+
+
+def test_score_gap():
+    assert score_gap([]) == 0.0
+    assert score_gap([{"score": 0.8}]) == 1.0
+    gap = score_gap([{"score": 0.8}, {"score": 0.2}])
+    assert gap == pytest.approx(0.75)
+
+
+# -- evidence -----------------------------------------------------------------------------
+
+def test_evidence_strength_bounds():
+    with pytest.raises(ValueError):
+        EvidenceItem(kind="x", description="d", strength=1.5, supports=True)
+
+
+def test_synthesis_empty():
+    out = synthesize_evidence([])
+    assert out["verdict"] == "insufficient_evidence"
+    assert out["confidence"] == 0.0
+
+
+def test_synthesis_three_supporting_strands():
+    items = [
+        EvidenceItem("statistical", "latency shift", 0.9, True),
+        EvidenceItem("infrastructure", "clear suspect", 0.8, True),
+        EvidenceItem("routing", "correlated burst", 0.8, True),
+    ]
+    out = synthesize_evidence(items)
+    assert out["verdict"] == "established"
+    assert out["confidence"] > 0.8
+    assert out["supporting"] == 3
+
+
+def test_synthesis_contradiction_lowers_confidence():
+    supporting = [EvidenceItem("statistical", "s", 0.9, True)]
+    mixed = supporting + [EvidenceItem("routing", "no burst", 0.9, False)]
+    assert (synthesize_evidence(mixed)["confidence"]
+            < synthesize_evidence(supporting)["confidence"])
+
+
+def test_synthesis_diversity_bonus():
+    same_kind = [
+        EvidenceItem("statistical", "a", 0.6, True),
+        EvidenceItem("statistical", "b", 0.6, True),
+    ]
+    diverse = [
+        EvidenceItem("statistical", "a", 0.6, True),
+        EvidenceItem("routing", "b", 0.6, True),
+    ]
+    assert (synthesize_evidence(diverse)["confidence"]
+            > synthesize_evidence(same_kind)["confidence"])

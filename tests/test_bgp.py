@@ -1,0 +1,178 @@
+"""BGP substrate: messages, RIB, collector, anomalies, API."""
+
+import pytest
+
+from repro.bgp.anomaly import detect_update_anomalies, update_rate_series
+from repro.bgp.collector import BGPCollectorSim, CableIncident, CollectorConfig
+from repro.bgp.messages import BGPUpdate, UpdateKind, path_edit_distance
+from repro.bgp.rib import RoutingTable
+from repro.bgp.api import (
+    correlate_updates_with_window,
+    detect_routing_anomalies,
+    fetch_updates,
+    summarize_path_changes,
+    update_volume_series,
+)
+
+DAY = 86_400.0
+
+
+# -- messages -------------------------------------------------------------------
+
+def test_update_roundtrip():
+    update = BGPUpdate(ts=10.0, collector="rrc-sim", peer_asn=1000,
+                       kind=UpdateKind.ANNOUNCE, prefix="10.0.0.0/24",
+                       as_path=(1000, 1007, 1042))
+    assert BGPUpdate.from_dict(update.to_dict()) == update
+    assert update.origin_asn == 1042
+
+
+def test_withdraw_has_no_origin():
+    update = BGPUpdate(ts=1.0, collector="c", peer_asn=1, kind=UpdateKind.WITHDRAW,
+                       prefix="10.0.0.0/24")
+    assert update.origin_asn is None
+
+
+def test_path_edit_distance():
+    assert path_edit_distance((1, 2, 3), (1, 2, 3)) == 0
+    assert path_edit_distance((1, 2, 3), (1, 3)) == 1
+    assert path_edit_distance((), (1, 2)) == 2
+    assert path_edit_distance((1, 2), (3, 4)) == 2
+
+
+# -- RIB -------------------------------------------------------------------------
+
+def test_rib_apply_and_withdraw():
+    table = RoutingTable(collector="c")
+    table.apply(BGPUpdate(1.0, "c", 7, UpdateKind.ANNOUNCE, "10.0.0.0/24", (7, 9)))
+    assert table.best_route("10.0.0.0/24").as_path == (7, 9)
+    table.apply(BGPUpdate(2.0, "c", 7, UpdateKind.WITHDRAW, "10.0.0.0/24"))
+    assert table.best_route("10.0.0.0/24") is None
+
+
+def test_rib_best_route_prefers_shorter_path():
+    table = RoutingTable(collector="c")
+    table.apply(BGPUpdate(1.0, "c", 7, UpdateKind.ANNOUNCE, "10.0.0.0/24", (7, 8, 9)))
+    table.apply(BGPUpdate(2.0, "c", 5, UpdateKind.ANNOUNCE, "10.0.0.0/24", (5, 9)))
+    assert table.best_route("10.0.0.0/24").peer_asn == 5
+
+
+def test_rib_rejects_wrong_collector_and_time_travel():
+    table = RoutingTable(collector="c")
+    with pytest.raises(ValueError):
+        table.apply(BGPUpdate(1.0, "other", 7, UpdateKind.ANNOUNCE, "10.0.0.0/24", (7,)))
+    table.apply(BGPUpdate(5.0, "c", 7, UpdateKind.ANNOUNCE, "10.0.0.0/24", (7,)))
+    with pytest.raises(ValueError):
+        table.apply(BGPUpdate(4.0, "c", 7, UpdateKind.WITHDRAW, "10.0.0.0/24"))
+
+
+def test_rib_diff_detects_changes():
+    before = RoutingTable(collector="c")
+    after = RoutingTable(collector="c")
+    before.apply(BGPUpdate(1.0, "c", 7, UpdateKind.ANNOUNCE, "10.0.0.0/24", (7, 9)))
+    before.apply(BGPUpdate(1.0, "c", 7, UpdateKind.ANNOUNCE, "10.0.1.0/24", (7, 8)))
+    after.apply(BGPUpdate(9.0, "c", 7, UpdateKind.ANNOUNCE, "10.0.0.0/24", (7, 5, 9)))
+    diff = before.diff(after)
+    assert diff["lost_prefixes"] == ["10.0.1.0/24"]
+    assert diff["changed_paths"][0]["length_delta"] == 1
+
+
+# -- collector ---------------------------------------------------------------------
+
+def test_collector_baseline_covers_reachable_prefixes(world):
+    sim = BGPCollectorSim(world, CollectorConfig(peer_count=4))
+    routes = sim.baseline_routes()
+    assert routes
+    for (peer, prefix), path in list(routes.items())[:50]:
+        assert path[0] == peer
+
+
+def test_collector_steady_state_rate(world):
+    sim = BGPCollectorSim(world, CollectorConfig(churn_per_hour=12.0))
+    updates = sim.generate_updates(0.0, DAY)
+    # churn 12/h over 24h; flaps emit two messages, so within [288, 576].
+    assert 200 <= len(updates) <= 700
+
+
+def test_collector_incident_burst(world):
+    sim = BGPCollectorSim(world)
+    quiet = sim.generate_updates(0.0, 7 * DAY)
+    noisy = sim.generate_updates(
+        0.0, 7 * DAY, incidents=[CableIncident("SeaMeWe-5", onset=4 * DAY)]
+    )
+    assert len(noisy) > len(quiet) + 300
+    burst = [u for u in noisy if 4 * DAY <= u.ts <= 4 * DAY + 600]
+    background = [u for u in quiet if 4 * DAY <= u.ts <= 4 * DAY + 600]
+    assert len(burst) > len(background) + 50
+
+
+def test_collector_updates_sorted(world):
+    sim = BGPCollectorSim(world)
+    updates = sim.generate_updates(0.0, DAY,
+                                   incidents=[CableIncident("AAE-1", onset=DAY / 2)])
+    timestamps = [u.ts for u in updates]
+    assert timestamps == sorted(timestamps)
+
+
+def test_collector_rejects_bad_window(world):
+    sim = BGPCollectorSim(world)
+    with pytest.raises(ValueError):
+        sim.generate_updates(10.0, 5.0)
+
+
+# -- anomaly detection ---------------------------------------------------------------
+
+def test_anomaly_detected_at_incident(world, incident):
+    rows = fetch_updates(world, 0.0, 7 * DAY, incidents=[incident])
+    anomalies = detect_routing_anomalies(rows, 0.0, 7 * DAY)
+    assert anomalies
+    top = anomalies[0]
+    assert top["window_start"] <= incident.onset <= top["window_end"]
+    assert top["zscore"] > 10
+
+
+def test_no_anomaly_in_quiet_stream(world):
+    rows = fetch_updates(world, 0.0, 7 * DAY)
+    anomalies = detect_routing_anomalies(rows, 0.0, 7 * DAY)
+    assert anomalies == [] or all(a["zscore"] < 10 for a in anomalies)
+
+
+def test_rate_series_covers_window():
+    updates = [BGPUpdate(float(i), "c", 1, UpdateKind.ANNOUNCE, "10.0.0.0/24", (1,))
+               for i in range(100)]
+    bins = update_rate_series(updates, 0.0, 100.0, bin_seconds=10.0)
+    assert len(bins) == 10
+    assert sum(b["count"] for b in bins) == 100
+
+
+def test_rate_series_rejects_bad_bin():
+    with pytest.raises(ValueError):
+        update_rate_series([], 0.0, 10.0, bin_seconds=0)
+
+
+# -- API -------------------------------------------------------------------------------
+
+def test_summarize_path_changes_on_incident(world, incident):
+    rows = fetch_updates(world, 0.0, 7 * DAY, incidents=[incident])
+    summary = summarize_path_changes(rows)
+    assert summary["lost_count"] > 0 or summary["changed_count"] > 0
+
+
+def test_correlation_strong_at_onset(world, incident):
+    rows = fetch_updates(world, 0.0, 7 * DAY, incidents=[incident])
+    correlation = correlate_updates_with_window(rows, incident.onset,
+                                                incident.onset + 3600)
+    assert correlation["correlated"]
+    assert correlation["rate_ratio"] > 2
+
+
+def test_correlation_empty_stream():
+    correlation = correlate_updates_with_window([], 0.0, 10.0)
+    assert not correlation["correlated"]
+
+
+def test_update_volume_series_api(world, incident):
+    rows = fetch_updates(world, 0.0, 7 * DAY, incidents=[incident])
+    bins = update_volume_series(rows, 0.0, 7 * DAY)
+    assert len(bins) == 168
+    assert sum(b["count"] for b in bins) == len(rows)

@@ -1,0 +1,101 @@
+"""Cable substrate: blueprint materialisation and lookup."""
+
+import pytest
+
+from repro.synth.cables import (
+    CABLE_BLUEPRINTS,
+    build_cables,
+    build_landing_points,
+    cable_by_name,
+)
+
+
+@pytest.fixture(scope="module")
+def landing_points():
+    return build_landing_points()
+
+
+@pytest.fixture(scope="module")
+def cables(landing_points):
+    return build_cables(landing_points)
+
+
+def test_blueprint_names_unique():
+    names = [b.name for b in CABLE_BLUEPRINTS]
+    assert len(names) == len(set(names))
+
+
+def test_every_blueprint_materialises(cables):
+    assert len(cables) == len(CABLE_BLUEPRINTS)
+
+
+def test_cables_have_at_least_two_landing_points(cables):
+    for cable in cables.values():
+        assert len(cable.landing_point_ids) >= 2, cable.name
+
+
+def test_segment_count_matches_landing_chain(cables):
+    for cable in cables.values():
+        assert len(cable.segments) == len(cable.landing_point_ids) - 1
+
+
+def test_segment_lengths_positive_with_slack(cables, landing_points):
+    from repro.synth.geography import haversine_km
+
+    for cable in cables.values():
+        for seg in cable.segments:
+            src = landing_points[seg.src_landing]
+            dst = landing_points[seg.dst_landing]
+            great_circle = haversine_km(src.coord, dst.coord)
+            assert seg.length_km == pytest.approx(great_circle * 1.2)
+            assert seg.length_km > 0
+
+
+def test_cable_length_is_sum_of_segments(cables):
+    for cable in cables.values():
+        assert cable.length_km == pytest.approx(sum(s.length_km for s in cable.segments))
+
+
+def test_seamewe5_lands_in_france_and_singapore(cables, landing_points):
+    cable = cable_by_name(cables, "SeaMeWe-5")
+    countries = cable.country_codes(landing_points)
+    assert countries[0] == "FR"
+    assert countries[-1] == "SG"
+    assert len(cable.landing_point_ids) == 14
+
+
+def test_cable_lookup_case_insensitive(cables):
+    assert cable_by_name(cables, "seamewe-5").name == "SeaMeWe-5"
+    assert cable_by_name(cables, "AAE-1").name == "AAE-1"
+
+
+def test_cable_lookup_unknown_lists_known(cables):
+    with pytest.raises(KeyError) as excinfo:
+        cable_by_name(cables, "Nonexistent-9")
+    assert "SeaMeWe-5" in str(excinfo.value)
+
+
+def test_landing_point_ids_resolve(cables, landing_points):
+    for cable in cables.values():
+        for lp_id in cable.landing_point_ids:
+            assert lp_id in landing_points
+
+
+def test_segment_sampling_endpoints(cables, landing_points):
+    cable = cable_by_name(cables, "FALCON")
+    seg = cable.segments[0]
+    src = landing_points[seg.src_landing]
+    dst = landing_points[seg.dst_landing]
+    points = seg.sample_points(src, dst, n=5)
+    assert len(points) == 5
+    assert points[0] == src.coord
+    assert points[-1] == dst.coord
+
+
+def test_segment_sampling_requires_two_points(cables, landing_points):
+    cable = cable_by_name(cables, "FALCON")
+    seg = cable.segments[0]
+    src = landing_points[seg.src_landing]
+    dst = landing_points[seg.dst_landing]
+    with pytest.raises(ValueError):
+        seg.sample_points(src, dst, n=1)

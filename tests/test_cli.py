@@ -1,0 +1,67 @@
+"""CLI: argument handling and end-to-end runs."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_defaults():
+    args = build_parser().parse_args(["some query"])
+    assert args.query == "some query"
+    assert args.seed == 7
+    assert not args.json
+
+
+def test_list_cables(capsys):
+    assert main(["--list-cables"]) == 0
+    out = capsys.readouterr().out
+    assert "SeaMeWe-5" in out
+    assert "Tbps" in out
+
+
+def test_query_required(capsys):
+    assert main([]) == 2
+    assert "query is required" in capsys.readouterr().err
+
+
+def test_cs1_text_output(capsys):
+    code = main(["--frameworks", "nautilus", "--no-curate",
+                 "Identify the impact at a country level due to SeaMeWe-5 "
+                 "cable failure"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "cable_failure_impact" in out
+    assert "answer:" in out
+
+
+def test_json_output_parses(capsys):
+    code = main(["--json", "--no-curate",
+                 "How exposed is Singapore to single cable failures?"])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["analysis"]["intent"] == "risk_assessment"
+    assert payload["execution"]["succeeded"]
+    assert "lines; rerun with --show-code" in payload["solution"]["source_code"]
+
+
+def test_show_code_prints_source(capsys):
+    code = main(["--show-code", "--no-curate", "--frameworks", "nautilus",
+                 "Identify the impact at a country level due to FALCON "
+                 "cable failure"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "def run(catalog, params=None):" in out
+
+
+def test_incident_flag_enables_forensics(capsys):
+    code = main(["--incident", "SeaMeWe-5", "--no-curate", "--json",
+                 "A sudden increase in latency was observed from European "
+                 "probes to Asian destinations starting three days ago. "
+                 "Determine if a submarine cable failure caused this, and if "
+                 "so, identify the specific cable."])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    final = payload["execution"]["outputs"]["final"]
+    assert final["identified_cable_name"] == "SeaMeWe-5"

@@ -1,0 +1,142 @@
+"""Workflow DAG: validation, ordering, signatures, rendering."""
+
+import pytest
+
+from repro.core.artifacts import CandidateWorkflow, StepType, WorkflowStep
+from repro.core.workflow import (
+    WorkflowValidationError,
+    functional_signature,
+    parse_binding,
+    stage_kinds,
+    to_mermaid,
+    topological_order,
+    validate_workflow,
+)
+
+
+def _step(sid, target, inputs=None, step_type=StepType.TRANSFORM, foreach=""):
+    return WorkflowStep(id=sid, step_type=step_type, target=target,
+                        inputs=inputs or {}, foreach=foreach)
+
+
+def _workflow(*steps):
+    return CandidateWorkflow(steps=list(steps))
+
+
+def test_parse_binding_kinds():
+    assert parse_binding("workflow:x") == ("workflow", "x")
+    assert parse_binding("step:s1.field") == ("step", "s1.field")
+    assert parse_binding("const:3") == ("const", "3")
+    with pytest.raises(WorkflowValidationError):
+        parse_binding("nocolon")
+    with pytest.raises(WorkflowValidationError):
+        parse_binding("magic:x")
+
+
+def test_validate_accepts_well_formed():
+    wf = _workflow(
+        _step("s1", "build_report", {"title": 'const:"t"', "ranking": "workflow:r",
+                                     "dependencies": "workflow:r"}),
+        _step("s2", "combine_reports", {"reports_a": "step:s1"}),
+    )
+    validate_workflow(wf, {"r": "input"})
+
+
+def test_validate_rejects_duplicate_ids():
+    wf = _workflow(_step("s1", "build_report"), _step("s1", "combine_reports"))
+    with pytest.raises(WorkflowValidationError, match="duplicate"):
+        validate_workflow(wf, {})
+
+
+def test_validate_rejects_unknown_workflow_input():
+    wf = _workflow(_step("s1", "build_report", {"x": "workflow:missing"}))
+    with pytest.raises(WorkflowValidationError, match="undefined workflow input"):
+        validate_workflow(wf, {})
+
+
+def test_validate_rejects_unknown_step_reference():
+    wf = _workflow(_step("s1", "build_report", {"x": "step:ghost"}))
+    with pytest.raises(WorkflowValidationError, match="unknown step"):
+        validate_workflow(wf, {})
+
+
+def test_validate_rejects_self_reference():
+    wf = _workflow(_step("s1", "build_report", {"x": "step:s1"}))
+    with pytest.raises(WorkflowValidationError, match="itself"):
+        validate_workflow(wf, {})
+
+
+def test_validate_rejects_bad_const():
+    wf = _workflow(_step("s1", "build_report", {"x": "const:{not json"}))
+    with pytest.raises(WorkflowValidationError, match="not JSON"):
+        validate_workflow(wf, {})
+
+
+def test_validate_rejects_unknown_registry_target():
+    wf = _workflow(_step("s1", "ghost.fn", step_type=StepType.REGISTRY))
+    with pytest.raises(WorkflowValidationError, match="unknown registry entry"):
+        validate_workflow(wf, {}, registry_names={"real.fn"})
+
+
+def test_validate_rejects_unknown_transform():
+    wf = _workflow(_step("s1", "ghost_transform"))
+    with pytest.raises(WorkflowValidationError, match="unknown transform"):
+        validate_workflow(wf, {}, transform_names={"build_report"})
+
+
+def test_validate_item_binding_requires_foreach():
+    bad = _workflow(_step("s1", "build_report", {"x": "item"}))
+    with pytest.raises(WorkflowValidationError, match="without foreach"):
+        validate_workflow(bad, {})
+    ok = _workflow(
+        _step("s0", "combine_reports", {}),
+        _step("s1", "build_report", {"x": "item"}, foreach="step:s0"),
+    )
+    validate_workflow(ok, {})
+
+
+def test_validate_foreach_must_bind_step():
+    wf = _workflow(_step("s1", "build_report", {}, foreach="workflow:items"))
+    with pytest.raises(WorkflowValidationError, match="foreach"):
+        validate_workflow(wf, {"items": "list"})
+
+
+def test_topological_order_respects_dependencies():
+    wf = _workflow(
+        _step("s3", "build_report", {"x": "step:s2"}),
+        _step("s1", "combine_reports", {}),
+        _step("s2", "combine_reports", {"a": "step:s1"}),
+    )
+    order = [s.id for s in topological_order(wf)]
+    assert order.index("s1") < order.index("s2") < order.index("s3")
+
+
+def test_topological_order_detects_cycle():
+    wf = _workflow(
+        _step("s1", "combine_reports", {"a": "step:s2"}),
+        _step("s2", "combine_reports", {"a": "step:s1"}),
+    )
+    with pytest.raises(WorkflowValidationError, match="cycle"):
+        topological_order(wf)
+
+
+def test_functional_signature_order_insensitive():
+    wf_a = _workflow(_step("s1", "build_report"), _step("s2", "combine_reports"))
+    wf_b = _workflow(_step("x", "combine_reports"), _step("y", "build_report"))
+    assert functional_signature(wf_a) == functional_signature(wf_b)
+
+
+def test_stage_kinds_mapping():
+    wf = _workflow(_step("s1", "build_report"), _step("s2", "unknown_thing"))
+    kinds = stage_kinds(wf, {"build_report": "report"})
+    assert kinds == {"report", "unknown_thing"}
+
+
+def test_mermaid_rendering():
+    wf = _workflow(
+        _step("s1", "nautilus.list_cables", step_type=StepType.REGISTRY),
+        _step("s2", "build_report", {"x": "step:s1"}),
+    )
+    text = to_mermaid(wf)
+    assert "flowchart TD" in text
+    assert "s1 --> s2" in text

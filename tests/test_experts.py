@@ -1,0 +1,67 @@
+"""Expert baselines: each specialist workflow produces sound output."""
+
+import pytest
+
+from repro.experts import (
+    expert_cable_country_impact,
+    expert_cascade_analysis,
+    expert_forensic_investigation,
+    expert_multi_disaster_impact,
+)
+
+
+def test_case1_expert_output(world):
+    out = expert_cable_country_impact(world, "SeaMeWe-5")
+    assert out["cable_name"] == "SeaMeWe-5"
+    assert out["ranking"]
+    assert out["failed_link_ids"]
+    assert out["affected_counts"]
+    scores = [row["score"] for row in out["ranking"]]
+    assert scores == sorted(scores, reverse=True)
+    counts = {row["country"] for row in out["affected_counts"]}
+    assert counts <= set(world.countries.keys())
+
+
+def test_case1_expert_unknown_cable(world):
+    with pytest.raises(KeyError):
+        expert_cable_country_impact(world, "Atlantis-1")
+
+
+def test_case2_expert_processes_all_severe(world):
+    out = expert_multi_disaster_impact(world, failure_probability=0.1, seed=0)
+    assert out["events_processed"] == 7  # severe events in the catalog
+    assert out["combined"]["events_combined"] == 7
+    assert isinstance(out["failed_cable_ids"], list)
+
+
+def test_case2_expert_probability_one_fails_everything_exposed(world):
+    out = expert_multi_disaster_impact(world, failure_probability=1.0, seed=0)
+    assert len(out["failed_cable_ids"]) >= 3
+    assert out["ranking"]
+
+
+def test_case3_expert_cross_layer_timeline(world):
+    out = expert_cascade_analysis(world)
+    assert "SeaMeWe-5" in out["corridor_cables"]
+    assert out["cascade_rounds"] >= 1
+    layers = {e["layer"] for e in out["timeline"]}
+    assert {"cable", "ip"} <= layers
+    assert out["country_ranking"]
+    assert out["initial_failed_links"]
+
+
+def test_case4_expert_identifies_cable(world, incident):
+    out = expert_forensic_investigation(
+        world, [incident], window=(incident.window_start, incident.window_end)
+    )
+    assert out["identified_cable_name"] == "SeaMeWe-5"
+    assert out["verdict"] in ("established", "probable")
+    assert out["confidence"] > 0.5
+    assert abs(out["onset_estimate"] - incident.onset) <= 6 * 3600.0
+    assert out["bgp_correlation"]["correlated"]
+
+
+def test_case4_expert_no_incident_inconclusive(world):
+    out = expert_forensic_investigation(world, [], window=(0.0, 604_800.0))
+    assert out["significant_count"] == 0
+    assert out["verdict"] in ("unsupported", "weak", "insufficient_evidence")

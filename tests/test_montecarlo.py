@@ -1,0 +1,68 @@
+"""Monte Carlo impact sweeps: determinism, bounds, monotonicity."""
+
+import pytest
+
+from repro.xaminer.montecarlo import monte_carlo_impact, monte_carlo_sweep
+from repro.synth.scenarios import cable_cut_event, default_disaster_catalog
+
+
+@pytest.fixture(scope="module")
+def quake():
+    return default_disaster_catalog()[0]  # severe Taiwan-analogue earthquake
+
+
+def test_deterministic_per_seed(world, quake):
+    a = monte_carlo_impact(world, quake, 0.3, trials=30, base_seed=5)
+    b = monte_carlo_impact(world, quake, 0.3, trials=30, base_seed=5)
+    assert a.to_dict() == b.to_dict()
+
+
+def test_frequencies_match_probability(world, quake):
+    summary = monte_carlo_impact(world, quake, 0.5, trials=200)
+    assert summary.cable_failure_frequency
+    for frequency in summary.cable_failure_frequency.values():
+        assert 0.3 <= frequency <= 0.7  # binomial around 0.5
+
+
+def test_probability_zero_and_one(world, quake):
+    nothing = monte_carlo_impact(world, quake, 0.0, trials=10)
+    assert nothing.no_failure_fraction == 1.0
+    assert nothing.mean_capacity_lost_gbps == 0.0
+    certain = monte_carlo_impact(world, quake, 1.0, trials=10)
+    assert certain.no_failure_fraction == 0.0
+    for frequency in certain.cable_failure_frequency.values():
+        assert frequency == 1.0
+
+
+def test_sweep_mean_loss_monotone(world, quake):
+    sweep = monte_carlo_sweep(world, quake, [0.1, 0.5, 1.0], trials=60)
+    losses = [s.mean_capacity_lost_gbps for s in sweep]
+    assert losses[0] <= losses[1] <= losses[2]
+    assert losses[2] > 0
+
+
+def test_p95_at_least_mean_shape(world, quake):
+    summary = monte_carlo_impact(world, quake, 0.3, trials=100)
+    assert summary.p95_capacity_lost_gbps >= 0
+    assert summary.p95_capacity_lost_gbps >= summary.mean_capacity_lost_gbps * 0.5
+
+
+def test_ranked_countries_sorted(world):
+    event = cable_cut_event(world, "SeaMeWe-5")
+    summary = monte_carlo_impact(world, event, 1.0, trials=5)
+    rows = summary.ranked_countries()
+    means = [r["mean_score"] for r in rows]
+    assert means == sorted(means, reverse=True)
+    assert rows  # a certain cut always produces impact
+
+
+def test_trials_validation(world, quake):
+    with pytest.raises(ValueError):
+        monte_carlo_impact(world, quake, 0.5, trials=0)
+
+
+def test_accepts_dict_events(world):
+    summary = monte_carlo_impact(
+        world, {"kind": "cable_cut", "cable_names": ["FALCON"]}, 1.0, trials=3
+    )
+    assert summary.cable_failure_frequency == {"cable-falcon": 1.0}

@@ -1,0 +1,112 @@
+"""Pipeline: end-to-end runs, expert mode, stage tracing."""
+
+import pytest
+
+from repro.core.artifacts import Constraint
+from repro.core.pipeline import ArachNet, ExpertHooks, build_data_context, standard_params
+from repro.core.registry import default_registry
+
+CS1 = "Identify the impact at a country level due to SeaMeWe-5 cable failure"
+
+
+def test_data_context_shape(world):
+    context = build_data_context(world)
+    assert "SeaMeWe-5" in context["cable_names"]
+    assert "europe" in context["regions"]
+    assert set(context["region_country_map"]) <= set(context["regions"])
+    assert "FR" in context["region_country_map"]["europe"]
+
+
+def test_standard_params_window_covers_onset(world):
+    params = standard_params(world, {"days_since_onset": 3})
+    assert params["window_end"] - params["window_start"] >= 6 * 86_400.0
+    assert params["now_ts"] == params["window_end"]
+
+
+def test_pipeline_standard_mode_full_trace(world):
+    system = ArachNet.for_world(world)
+    result = system.answer(CS1)
+    agents = [t.agent for t in result.stage_trace]
+    assert agents == ["querymind", "workflowscout", "solutionweaver",
+                      "executor", "registrycurator"]
+    assert result.execution.succeeded
+    assert not any(t.expert_reviewed for t in result.stage_trace)
+
+
+def test_pipeline_without_curation(world):
+    system = ArachNet.for_world(world, curate=False)
+    result = system.answer(CS1)
+    assert result.curator is None
+    assert [t.agent for t in result.stage_trace][-1] == "executor"
+
+
+def test_pipeline_rejects_unknown_mode(world):
+    with pytest.raises(ValueError):
+        ArachNet.for_world(world, mode="turbo")
+
+
+def test_expert_mode_hooks_invoked_and_recorded(world):
+    calls = []
+
+    def on_analysis(analysis):
+        calls.append("analysis")
+        analysis.constraints.append(
+            Constraint(kind="methodological", description="expert note")
+        )
+        return analysis
+
+    def on_design(design):
+        calls.append("design")
+        return design
+
+    system = ArachNet.for_world(
+        world, mode="expert",
+        hooks=ExpertHooks(on_analysis=on_analysis, on_design=on_design),
+    )
+    result = system.answer(CS1)
+    assert calls == ["analysis", "design"]
+    reviewed = {t.agent: t.expert_reviewed for t in result.stage_trace}
+    assert reviewed["querymind"] and reviewed["workflowscout"]
+    assert not reviewed["solutionweaver"]
+    assert any(c.description == "expert note" for c in result.analysis.constraints)
+
+
+def test_expert_hooks_ignored_in_standard_mode(world):
+    calls = []
+    system = ArachNet.for_world(
+        world, hooks=ExpertHooks(on_analysis=lambda a: calls.append("x") or a)
+    )
+    system.answer(CS1)
+    assert calls == []
+
+
+def test_expert_can_modify_params_via_design_hook(world):
+    def on_design(design):
+        design.param_defaults["cable_name"] = "AAE-1"
+        return design
+
+    system = ArachNet.for_world(world, mode="expert",
+                                hooks=ExpertHooks(on_design=on_design))
+    result = system.answer(CS1)
+    info_step = next(s for s in result.design.chosen.steps
+                     if s.target == "nautilus.get_cable_info")
+    info = result.execution.outputs["results"][info_step.id]
+    assert info["name"] == "AAE-1"
+
+
+def test_pipeline_result_serialises(world):
+    import json
+
+    system = ArachNet.for_world(world)
+    result = system.answer(CS1)
+    payload = result.to_dict()
+    del payload["solution"]["source_code"]  # large but also serialisable
+    json.dumps(payload)
+
+
+def test_pipeline_params_override(world):
+    system = ArachNet.for_world(world)
+    result = system.answer(CS1, params={"cable_name": "FALCON"})
+    final = result.execution.outputs["final"]
+    assert "FALCON" in str(final.get("context", {}).get("cable_name", "")) or \
+        result.execution.succeeded

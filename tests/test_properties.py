@@ -1,0 +1,224 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.changepoint import cusum_change_point
+from repro.analysis.evidence import EvidenceItem, synthesize_evidence
+from repro.analysis.scoring import rank_suspects
+from repro.analysis.stats import mad, median, robust_zscores
+from repro.bgp.messages import path_edit_distance
+from repro.core.artifacts import CandidateWorkflow, StepType, WorkflowStep
+from repro.core.workflow import WorkflowValidationError, topological_order
+from repro.nautilus.sol import max_distance_km, min_rtt_ms
+from repro.synth.geography import haversine_km, interpolate
+
+finite_floats = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+coords = st.tuples(
+    st.floats(min_value=-89.9, max_value=89.9),
+    st.floats(min_value=-179.9, max_value=179.9),
+)
+
+
+# -- geography ---------------------------------------------------------------------
+
+@given(coords, coords)
+def test_haversine_symmetric_nonnegative(a, b):
+    d_ab = haversine_km(a, b)
+    d_ba = haversine_km(b, a)
+    assert d_ab >= 0
+    assert math.isclose(d_ab, d_ba, rel_tol=1e-9, abs_tol=1e-9)
+
+
+@given(coords, coords, coords)
+def test_haversine_triangle_inequality(a, b, c):
+    assert haversine_km(a, c) <= haversine_km(a, b) + haversine_km(b, c) + 1e-6
+
+
+@given(coords, coords, st.floats(min_value=0.0, max_value=1.0))
+def test_interpolate_stays_in_bounding_box(a, b, fraction):
+    lat, lon = interpolate(a, b, fraction)
+    assert min(a[0], b[0]) - 1e-9 <= lat <= max(a[0], b[0]) + 1e-9
+    assert min(a[1], b[1]) - 1e-9 <= lon <= max(a[1], b[1]) + 1e-9
+
+
+# -- speed of light -----------------------------------------------------------------
+
+@given(st.floats(min_value=0.0, max_value=1e5))
+def test_sol_roundtrip(distance):
+    assert math.isclose(max_distance_km(min_rtt_ms(distance)), distance,
+                        rel_tol=1e-9, abs_tol=1e-9)
+
+
+@given(st.floats(min_value=0.0, max_value=1e5),
+       st.floats(min_value=0.0, max_value=1e5))
+def test_min_rtt_monotone(d1, d2):
+    if d1 <= d2:
+        assert min_rtt_ms(d1) <= min_rtt_ms(d2)
+
+
+# -- statistics ------------------------------------------------------------------------
+
+@given(st.lists(finite_floats, min_size=1, max_size=50))
+def test_median_between_min_and_max(values):
+    m = median(values)
+    assert min(values) <= m <= max(values)
+
+
+@given(st.lists(finite_floats, min_size=1, max_size=50))
+def test_mad_nonnegative(values):
+    assert mad(values) >= 0
+
+
+@given(st.lists(finite_floats, min_size=1, max_size=50), finite_floats)
+def test_median_shift_equivariance(values, shift):
+    shifted = [v + shift for v in values]
+    assert math.isclose(median(shifted), median(values) + shift,
+                        rel_tol=1e-6, abs_tol=1e-6)
+
+
+@given(st.lists(finite_floats, min_size=3, max_size=60))
+def test_robust_zscores_length_and_median_zero(values):
+    scores = robust_zscores(values)
+    assert len(scores) == len(values)
+    assert abs(median(scores)) < 1e-9
+
+
+# -- change points -----------------------------------------------------------------------
+
+@given(
+    st.floats(min_value=-100, max_value=100),
+    st.floats(min_value=5.0, max_value=100.0),
+    st.integers(min_value=8, max_value=30),
+    st.integers(min_value=8, max_value=30),
+)
+def test_cusum_locates_clean_shift(base, delta, n_before, n_after):
+    values = [base] * n_before + [base + delta] * n_after
+    idx = cusum_change_point(values)
+    assert idx is not None
+    assert abs(idx - n_before) <= 2
+
+
+@given(st.lists(finite_floats, min_size=0, max_size=7))
+def test_cusum_short_series_none(values):
+    assert cusum_change_point(values) is None
+
+
+# -- path edit distance ---------------------------------------------------------------------
+
+as_paths = st.lists(st.integers(min_value=1, max_value=99), min_size=0, max_size=8).map(tuple)
+
+
+@given(as_paths, as_paths)
+def test_edit_distance_metric_properties(a, b):
+    d = path_edit_distance(a, b)
+    assert d == path_edit_distance(b, a)
+    assert d >= abs(len(a) - len(b))
+    assert d <= max(len(a), len(b))
+    assert (d == 0) == (a == b)
+
+
+@given(as_paths, as_paths, as_paths)
+@settings(max_examples=50)
+def test_edit_distance_triangle(a, b, c):
+    assert path_edit_distance(a, c) <= (
+        path_edit_distance(a, b) + path_edit_distance(b, c)
+    )
+
+
+# -- suspect scoring ----------------------------------------------------------------------------
+
+@given(
+    st.lists(
+        st.fixed_dictionaries(
+            {"id": st.text(min_size=1, max_size=5),
+             "votes": st.floats(min_value=0, max_value=100)}
+        ),
+        min_size=1,
+        max_size=10,
+        unique_by=lambda r: r["id"],
+    )
+)
+def test_rank_suspects_scores_bounded_and_sorted(rows):
+    ranked = rank_suspects(rows, weights={"votes": 1.0})
+    scores = [r["score"] for r in ranked]
+    assert scores == sorted(scores, reverse=True)
+    assert all(-1e-9 <= s <= 1.0 + 1e-9 for s in scores)
+    assert len(ranked) == len(rows)
+
+
+# -- evidence synthesis ----------------------------------------------------------------------------
+
+evidence_items = st.lists(
+    st.builds(
+        EvidenceItem,
+        kind=st.sampled_from(["statistical", "infrastructure", "routing"]),
+        description=st.just("d"),
+        strength=st.floats(min_value=0.0, max_value=1.0),
+        supports=st.booleans(),
+    ),
+    min_size=0,
+    max_size=8,
+)
+
+
+@given(evidence_items)
+def test_synthesis_confidence_bounded(items):
+    out = synthesize_evidence(items)
+    assert 0.0 <= out["confidence"] <= 1.0
+    assert out["supporting"] + out["contradicting"] == len(items)
+
+
+@given(evidence_items)
+def test_synthesis_all_contradicting_means_low_confidence(items):
+    contradicting = [
+        EvidenceItem(i.kind, i.description, i.strength, False) for i in items
+    ]
+    out = synthesize_evidence(contradicting)
+    assert out["confidence"] == 0.0 or not contradicting
+
+
+# -- workflow DAG --------------------------------------------------------------------------------
+
+@st.composite
+def linear_workflows(draw):
+    """Random chains with arbitrary extra back-references (always acyclic)."""
+    length = draw(st.integers(min_value=1, max_value=8))
+    steps = []
+    for i in range(length):
+        inputs = {}
+        if i > 0:
+            back = draw(st.integers(min_value=0, max_value=i - 1))
+            inputs["data"] = f"step:s{back}"
+        steps.append(
+            WorkflowStep(id=f"s{i}", step_type=StepType.TRANSFORM,
+                         target="build_report", inputs=inputs)
+        )
+    return CandidateWorkflow(steps=steps)
+
+
+@given(linear_workflows())
+def test_topological_order_is_consistent(workflow):
+    order = topological_order(workflow)
+    assert len(order) == len(workflow.steps)
+    positions = {step.id: i for i, step in enumerate(order)}
+    for step in workflow.steps:
+        for dep in step.binding_step_ids():
+            assert positions[dep] < positions[step.id]
+
+
+@given(st.integers(min_value=2, max_value=6))
+def test_cycle_always_detected(n):
+    steps = [
+        WorkflowStep(id=f"s{i}", step_type=StepType.TRANSFORM,
+                     target="build_report",
+                     inputs={"data": f"step:s{(i + 1) % n}"})
+        for i in range(n)
+    ]
+    workflow = CandidateWorkflow(steps=steps)
+    try:
+        topological_order(workflow)
+        raise AssertionError("cycle not detected")
+    except WorkflowValidationError:
+        pass

@@ -1,0 +1,60 @@
+"""Scenario substrate: disaster catalog and incident construction."""
+
+import pytest
+
+from repro.synth.scenarios import (
+    DisasterKind,
+    cable_cut_event,
+    default_disaster_catalog,
+    make_latency_incident,
+    LatencyIncident,
+)
+
+
+def test_catalog_has_both_kinds():
+    kinds = {e.kind for e in default_disaster_catalog()}
+    assert DisasterKind.EARTHQUAKE in kinds
+    assert DisasterKind.HURRICANE in kinds
+
+
+def test_catalog_severity_thresholds():
+    for event in default_disaster_catalog():
+        if event.kind is DisasterKind.EARTHQUAKE:
+            assert event.is_severe == (event.magnitude >= 7.0)
+        elif event.kind is DisasterKind.HURRICANE:
+            assert event.is_severe == (event.magnitude >= 4.0)
+
+
+def test_catalog_ids_unique():
+    ids = [e.id for e in default_disaster_catalog()]
+    assert len(ids) == len(set(ids))
+
+
+def test_cable_cut_event_validates_name(world):
+    event = cable_cut_event(world, "SeaMeWe-5")
+    assert event.kind is DisasterKind.CABLE_CUT
+    assert event.is_severe
+    with pytest.raises(KeyError):
+        cable_cut_event(world, "NoSuchCable")
+
+
+def test_incident_three_days_ago(world):
+    incident = make_latency_incident(world, "SeaMeWe-5", days_of_history=7,
+                                     days_since_onset=3)
+    assert incident.window_end == pytest.approx(7 * 86400.0)
+    assert incident.onset == pytest.approx(4 * 86400.0)
+    assert incident.window_start == 0.0
+
+
+def test_incident_rejects_bad_windows(world):
+    with pytest.raises(ValueError):
+        make_latency_incident(world, "SeaMeWe-5", days_of_history=2,
+                              days_since_onset=3)
+    with pytest.raises(ValueError):
+        LatencyIncident(cable_name="x", onset=10.0, window_start=20.0,
+                        window_end=30.0)
+
+
+def test_incident_unknown_cable(world):
+    with pytest.raises(KeyError):
+        make_latency_incident(world, "Imaginary-1")
