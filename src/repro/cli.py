@@ -8,6 +8,12 @@ Usage::
     python -m repro --frameworks nautilus "…"        # restrict the registry
     python -m repro --incident SeaMeWe-5 "…latency…" # inject ground truth
     python -m repro --json "…"                        # machine-readable output
+
+Serve modes (the :mod:`repro.serve` subsystem)::
+
+    python -m repro --batch --workers 8               # scenario-matrix campaign
+    python -m repro --batch --limit 10 --json
+    echo "query-per-line" | python -m repro --serve   # concurrent stdin serving
 """
 
 from __future__ import annotations
@@ -45,7 +51,106 @@ def build_parser() -> argparse.ArgumentParser:
                         help="list known cables and exit")
     parser.add_argument("--no-curate", action="store_true",
                         help="skip the RegistryCurator stage")
+    serve = parser.add_argument_group("serve modes")
+    serve.add_argument("--serve", action="store_true",
+                       help="serve queries read from stdin (one per line) concurrently")
+    serve.add_argument("--batch", action="store_true",
+                       help="run a batch campaign over the scenario matrix")
+    serve.add_argument("--workers", type=int, default=4, metavar="N",
+                       help="worker threads for --serve/--batch (default 4)")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="disable the artifact cache in serve modes")
+    serve.add_argument("--limit", type=int, metavar="N",
+                       help="cap the number of cables in the --batch matrix")
+    serve.add_argument("--cascades", action="store_true",
+                       help="include cascade scenarios in the --batch matrix")
     return parser
+
+
+def _serve_config(args) -> "ServeConfig":
+    from repro.serve import ServeConfig
+
+    return ServeConfig(workers=args.workers, cache_enabled=not args.no_cache)
+
+
+def run_batch(args, world, registry, incidents) -> int:
+    """--batch: fan the scenario matrix through the broker and aggregate."""
+    from repro.serve import CampaignSpec, QueryBroker, run_campaign
+
+    spec = CampaignSpec.for_world(world, limit=args.limit, cascades=args.cascades)
+    with QueryBroker(world, registry=registry, incidents=incidents,
+                     config=_serve_config(args)) as broker:
+        report = run_campaign(broker, spec)
+        ledger_summary = broker.ledger.summary()
+
+    if args.json:
+        payload = report.to_dict()
+        payload["ledger"] = ledger_summary
+        print(json.dumps(payload, indent=1, default=str))
+    else:
+        print(f"campaign: {report.succeeded}/{report.total} jobs ok "
+              f"in {report.duration_s:.2f}s "
+              f"({report.jobs_per_sec:.1f} jobs/s, {args.workers} workers)")
+        if report.cache:
+            print(f"cache:    {report.cache['hits']} hits / "
+                  f"{report.cache['misses']} misses "
+                  f"({report.cache['hit_rate']:.0%} hit rate)")
+        print("top exposed countries across scenarios:")
+        for row in report.top_countries[:8]:
+            print(f"  {row['country']:<4} mean score {row['mean_score']:.3f} "
+                  f"({row['appearances']} scenarios)")
+        failures = [o for o in report.outcomes if o["state"] != "done"]
+        for failure in failures[:5]:
+            print(f"FAILED {failure['tag']}: {failure['error'][:120]}",
+                  file=sys.stderr)
+    return 0 if report.all_succeeded else 1
+
+
+def run_serve(args, world, registry, incidents, stream=None) -> int:
+    """--serve: submit every stdin line as a query to the concurrent broker.
+
+    Results print in submission order, each line as soon as its own job
+    (and those before it) finished; with ``--json`` the full per-job
+    payloads are emitted as one document at the end instead.
+    """
+    from repro.serve import JobState, QueryBroker
+
+    queries = [line.strip() for line in (stream or sys.stdin) if line.strip()]
+    if not queries:
+        print("error: --serve expects one query per line on stdin", file=sys.stderr)
+        return 2
+
+    failed = 0
+    rows = []
+    with QueryBroker(world, registry=registry, incidents=incidents,
+                     config=_serve_config(args)) as broker:
+        tickets = [broker.submit(query) for query in queries]
+        for query, ticket in zip(queries, tickets):
+            job = broker.wait(ticket)
+            if job.state is JobState.DONE:
+                final = job.result.execution.outputs.get("final", {})
+                title = final.get("title", "ok") if isinstance(final, dict) else "ok"
+                if args.json:
+                    rows.append({"ticket": job.ticket, "query": query,
+                                 "state": job.state.value, "final": final})
+                else:
+                    print(f"{job.ticket} done   {title} :: {query[:60]}")
+            else:
+                failed += 1
+                if args.json:
+                    rows.append({"ticket": job.ticket, "query": query,
+                                 "state": job.state.value, "error": job.error})
+                else:
+                    print(f"{job.ticket} FAILED {job.error[:80]} :: {query[:60]}")
+        stats = broker.stats()
+    cache = stats.get("cache")
+    if args.json:
+        print(json.dumps({"jobs": rows, "cache": cache,
+                          "ledger": broker.ledger.summary()},
+                         indent=1, default=str))
+    elif cache:
+        print(f"served {len(queries)} queries, cache hit rate {cache['hit_rate']:.0%}")
+    return 0 if failed == 0 else 1
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -59,10 +164,6 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{name:<18} {cable.capacity_tbps:>6.1f} Tbps  {countries}")
         return 0
 
-    if not args.query:
-        print("error: a query is required (or use --list-cables)", file=sys.stderr)
-        return 2
-
     registry = default_registry()
     if args.frameworks:
         registry = registry.subset(frameworks=args.frameworks.split(","))
@@ -70,6 +171,22 @@ def main(argv: list[str] | None = None) -> int:
     incidents = []
     if args.incident:
         incidents.append(make_latency_incident(world, args.incident))
+
+    if args.batch or args.serve:
+        if args.workers < 1:
+            print("error: --workers must be >= 1", file=sys.stderr)
+            return 2
+        if args.limit is not None and args.limit < 0:
+            print("error: --limit must be >= 0", file=sys.stderr)
+            return 2
+        if args.batch:
+            return run_batch(args, world, registry, incidents)
+        return run_serve(args, world, registry, incidents)
+
+    if not args.query:
+        print("error: a query is required (or use --list-cables/--batch/--serve)",
+              file=sys.stderr)
+        return 2
 
     system = ArachNet.for_world(
         world, registry=registry, incidents=incidents, curate=not args.no_curate

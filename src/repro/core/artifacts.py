@@ -329,6 +329,17 @@ class GeneratedSolution:
             "notes": self.notes,
         }
 
+    @classmethod
+    def from_dict(cls, row: dict) -> "GeneratedSolution":
+        return cls(
+            source_code=row["source_code"],
+            entrypoint=row.get("entrypoint", "run"),
+            qa_checks=list(row.get("qa_checks", [])),
+            adapters=list(row.get("adapters", [])),
+            loc=int(row.get("loc", 0)),
+            notes=row.get("notes", ""),
+        )
+
 
 @dataclass
 class ExecutionOutcome:
@@ -391,12 +402,16 @@ class StageTrace:
     agent: str
     artifact_kind: str
     expert_reviewed: bool = False
+    cache_hit: bool = False
+    duration_s: float = 0.0
 
     def to_dict(self) -> dict:
         return {
             "agent": self.agent,
             "artifact_kind": self.artifact_kind,
             "expert_reviewed": self.expert_reviewed,
+            "cache_hit": self.cache_hit,
+            "duration_s": self.duration_s,
         }
 
 

@@ -15,13 +15,28 @@ from repro.core.artifacts import ExecutionOutcome, GeneratedSolution
 from repro.core.catalog import ToolCatalog
 
 
+def builtins_dict(builtins=None) -> dict:
+    """Normalize ``__builtins__`` to a plain dict.
+
+    At module scope ``__builtins__`` is the ``builtins`` module in ``__main__``
+    but a plain dict in imported modules; handing either form through to
+    ``exec`` unchanged makes the sandbox namespace depend on how the executor
+    itself was imported.
+    """
+    if builtins is None:
+        builtins = __builtins__
+    if isinstance(builtins, dict):
+        return dict(builtins)
+    return dict(vars(builtins))
+
+
 def execute_solution(
     solution: GeneratedSolution,
     catalog: ToolCatalog,
     params: dict | None = None,
 ) -> ExecutionOutcome:
     """Run a generated solution against a catalog."""
-    namespace: dict = {"__name__": "arachnet_generated", "__builtins__": __builtins__}
+    namespace: dict = {"__name__": "arachnet_generated", "__builtins__": builtins_dict()}
     try:
         exec(compile(solution.source_code, "<arachnet-generated>", "exec"), namespace)
     except Exception:

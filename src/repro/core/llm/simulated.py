@@ -12,6 +12,8 @@ entirely behind the ``LLMClient`` seam.
 from __future__ import annotations
 
 import json
+import threading
+import time
 
 from repro.core.llm import knowledge
 from repro.core.llm.client import LLMRequest, LLMResponse
@@ -28,14 +30,19 @@ class SimulatedLLM:
         # tests can exercise the agents' parse-retry loop.
         self._fail_first_attempts = fail_first_attempts
         self._calls = 0
+        # The serve worker pool drives one backend from many threads; the
+        # counter must not under-count (it feeds cache-savings accounting).
+        self._count_lock = threading.Lock()
 
     @property
     def call_count(self) -> int:
         return self._calls
 
     def complete(self, request: LLMRequest) -> LLMResponse:
-        self._calls += 1
-        if self._calls <= self._fail_first_attempts:
+        with self._count_lock:
+            self._calls += 1
+            calls = self._calls
+        if calls <= self._fail_first_attempts:
             return LLMResponse(text="I think the answer might involve cables…",
                                model=self.model_name)
         handler = {
@@ -100,3 +107,27 @@ class SimulatedLLM:
         design_payload = section_json(prompt, "EXECUTED WORKFLOW")
         execution_payload = section_json(prompt, "EXECUTION OUTCOME")
         return knowledge.curator_candidates(design_payload, execution_payload)
+
+
+class SimulatedHostedLLM(SimulatedLLM):
+    """The simulated expert behind a modeled network round trip.
+
+    A hosted model's completion latency — not local compute — dominates
+    pipeline wall time in the real deployment, and it is what a thread-based
+    worker pool overlaps.  This backend sleeps ``latency_s`` per completion
+    so serve-layer throughput experiments exercise the same bottleneck
+    profile without network access.
+    """
+
+    model_name = "simulated-expert-v1-hosted"
+
+    def __init__(self, latency_s: float = 0.05, fail_first_attempts: int = 0):
+        super().__init__(fail_first_attempts=fail_first_attempts)
+        if latency_s < 0:
+            raise ValueError("latency_s must be >= 0")
+        self.latency_s = latency_s
+
+    def complete(self, request: LLMRequest) -> LLMResponse:
+        if self.latency_s:
+            time.sleep(self.latency_s)
+        return super().complete(request)

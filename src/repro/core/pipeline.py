@@ -7,15 +7,26 @@ implementing both operating modes from §3:
   SolutionWeaver → execution → RegistryCurator.
 * **expert** — the same pipeline with review hooks between stages; each
   hook receives the in-flight artifact and may return a modified one.
+
+Each stage is individually invokable (``run_analysis`` … ``run_curation``)
+so the serve layer can drive, memoize and time them one at a time;
+``answer`` remains the one-shot composition.  Stages whose output is a
+pure function of their inputs (analysis, design, solution) are
+content-addressed against an optional artifact cache — execution is never
+cached because it observes the live measurement context.
 """
 
 from __future__ import annotations
 
+import threading
+from contextlib import nullcontext
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Callable
 
 from repro.core.agents import QueryMind, RegistryCurator, SolutionWeaver, WorkflowScout
 from repro.core.artifacts import (
+    CuratorReport,
     ExecutionOutcome,
     GeneratedSolution,
     PipelineResult,
@@ -31,6 +42,9 @@ from repro.core.registry import Registry, default_registry
 from repro.synth.geography import Region
 from repro.synth.scenarios import SECONDS_PER_DAY
 from repro.synth.world import SyntheticWorld
+
+#: An observer receives one :class:`StageTrace` per completed stage.
+StageObserver = Callable[[StageTrace], None]
 
 
 @dataclass
@@ -86,7 +100,18 @@ def standard_params(world: SyntheticWorld, entities: dict) -> dict:
 
 @dataclass
 class ArachNet:
-    """The assembled system."""
+    """The assembled system.
+
+    ``cache`` is any object exposing ``fetch(stage, material) -> dict | None``
+    and ``store(stage, material, payload)`` (see
+    :class:`repro.serve.cache.ArtifactCache`); when set, the three
+    deterministic agent stages are memoized content-addressed on their
+    inputs.  ``ArachNet`` instances are safe to share across worker threads:
+    the agents are stateless between calls, and when ``curate`` is enabled
+    every stage that iterates the (then-mutable) registry runs under one
+    internal lock — curation trades stage concurrency for registry
+    consistency, which is why serving defaults to ``curate=False``.
+    """
 
     registry: Registry
     context: MeasurementContext
@@ -94,6 +119,7 @@ class ArachNet:
     mode: str = "standard"  # "standard" | "expert"
     hooks: ExpertHooks = field(default_factory=ExpertHooks)
     curate: bool = True
+    cache: object | None = None
 
     def __post_init__(self) -> None:
         if self.mode not in ("standard", "expert"):
@@ -102,6 +128,14 @@ class ArachNet:
         self._scout = WorkflowScout(self.llm, self.registry)
         self._weaver = SolutionWeaver(self.llm, self.registry)
         self._curator = RegistryCurator(self.llm, self.registry)
+        # The data context depends only on the world, which is immutable for
+        # the lifetime of the system — derive it once, not per query.
+        self._data_context = build_data_context(self.context.world)
+        # Guards registry mutation (curation) and, when curation is on, the
+        # registry-iterating reads inside agent stages (fingerprinting and
+        # prompt rendering) that would otherwise race it.  RLock because a
+        # stage computes its cache key and renders prompts in one scope.
+        self._curate_lock = threading.RLock()
 
     @classmethod
     def for_world(
@@ -117,42 +151,135 @@ class ArachNet:
             **kwargs,
         )
 
-    def answer(self, query: str, params: dict | None = None) -> PipelineResult:
-        """Run the full pipeline for one natural-language query."""
-        trace: list[StageTrace] = []
-        expert = self.mode == "expert"
+    @property
+    def data_context(self) -> dict:
+        return self._data_context
 
-        analysis = self._querymind.analyze(query, build_data_context(self.context.world))
-        if expert and self.hooks.on_analysis:
-            analysis = self.hooks.on_analysis(analysis)
-        trace.append(StageTrace("querymind", "ProblemAnalysis",
-                                expert and self.hooks.on_analysis is not None))
+    # -- individually invokable stages ------------------------------------
 
-        design = self._scout.design(analysis)
-        if expert and self.hooks.on_design:
-            design = self.hooks.on_design(design)
-        trace.append(StageTrace("workflowscout", "WorkflowDesign",
-                                expert and self.hooks.on_design is not None))
+    def run_analysis(
+        self, query: str, observer: StageObserver | None = None
+    ) -> ProblemAnalysis:
+        """QueryMind: natural-language query → :class:`ProblemAnalysis`."""
+        artifact, hit, duration = self._cached_stage(
+            "analysis",
+            lambda: {
+                "query": query,
+                "data_context": self._data_context,
+                "registry": self.registry.fingerprint(),
+            },
+            compute=lambda: self._querymind.analyze(query, self._data_context),
+            from_dict=ProblemAnalysis.from_dict,
+        )
+        artifact, reviewed = self._review(artifact, self.hooks.on_analysis)
+        self._notify(observer, StageTrace("querymind", "ProblemAnalysis",
+                                          reviewed, hit, duration))
+        return artifact
 
-        solution = self._weaver.implement(design, analysis)
-        if expert and self.hooks.on_solution:
-            solution = self.hooks.on_solution(solution)
-        trace.append(StageTrace("solutionweaver", "GeneratedSolution",
-                                expert and self.hooks.on_solution is not None))
+    def run_design(
+        self, analysis: ProblemAnalysis, observer: StageObserver | None = None
+    ) -> WorkflowDesign:
+        """WorkflowScout: analysis → :class:`WorkflowDesign`."""
+        artifact, hit, duration = self._cached_stage(
+            "design",
+            lambda: {
+                "analysis": analysis.to_dict(),
+                "registry": self.registry.fingerprint(),
+            },
+            compute=lambda: self._scout.design(analysis),
+            from_dict=WorkflowDesign.from_dict,
+        )
+        artifact, reviewed = self._review(artifact, self.hooks.on_design)
+        self._notify(observer, StageTrace("workflowscout", "WorkflowDesign",
+                                          reviewed, hit, duration))
+        return artifact
 
+    def run_solution(
+        self,
+        design: WorkflowDesign,
+        analysis: ProblemAnalysis,
+        observer: StageObserver | None = None,
+    ) -> GeneratedSolution:
+        """SolutionWeaver: design (+ analysis) → :class:`GeneratedSolution`."""
+        artifact, hit, duration = self._cached_stage(
+            "solution",
+            lambda: {
+                "design": design.to_dict(),
+                "analysis": analysis.to_dict(),
+                "registry": self.registry.fingerprint(),
+            },
+            compute=lambda: self._weaver.implement(design, analysis),
+            from_dict=GeneratedSolution.from_dict,
+        )
+        artifact, reviewed = self._review(artifact, self.hooks.on_solution)
+        self._notify(observer, StageTrace("solutionweaver", "GeneratedSolution",
+                                          reviewed, hit, duration))
+        return artifact
+
+    def run_execution(
+        self,
+        solution: GeneratedSolution,
+        design: WorkflowDesign,
+        analysis: ProblemAnalysis,
+        params: dict | None = None,
+        observer: StageObserver | None = None,
+    ) -> ExecutionOutcome:
+        """Run the generated solution against the live measurement context.
+
+        Never cached: outputs depend on the context's world *and* ambient
+        incidents, which are exactly what a measurement observes.
+        """
         run_params = {**standard_params(self.context.world, analysis.entities),
                       **design.param_defaults, **(params or {})}
         catalog = ToolCatalog(self.registry, self.context)
+        started = perf_counter()
         execution = execute_solution(solution, catalog, run_params)
-        if expert and self.hooks.on_execution:
-            execution = self.hooks.on_execution(execution)
-        trace.append(StageTrace("executor", "ExecutionOutcome",
-                                expert and self.hooks.on_execution is not None))
+        duration = perf_counter() - started
+        execution, reviewed = self._review(execution, self.hooks.on_execution)
+        self._notify(observer, StageTrace("executor", "ExecutionOutcome",
+                                          reviewed, False, duration))
+        return execution
 
-        curator_report = None
-        if self.curate:
-            curator_report = self._curator.curate(design, execution, self.registry)
-            trace.append(StageTrace("registrycurator", "CuratorReport", False))
+    def run_curation(
+        self,
+        design: WorkflowDesign,
+        execution: ExecutionOutcome,
+        observer: StageObserver | None = None,
+    ) -> CuratorReport:
+        """RegistryCurator: learn from the executed workflow.
+
+        Serialized under a lock because validated candidates mutate the
+        shared registry.
+        """
+        started = perf_counter()
+        with self._curate_lock:
+            report = self._curator.curate(design, execution, self.registry)
+        duration = perf_counter() - started
+        self._notify(observer, StageTrace("registrycurator", "CuratorReport",
+                                          False, False, duration))
+        return report
+
+    # -- one-shot composition ---------------------------------------------
+
+    def answer(
+        self,
+        query: str,
+        params: dict | None = None,
+        observer: StageObserver | None = None,
+    ) -> PipelineResult:
+        """Run the full pipeline for one natural-language query."""
+        trace: list[StageTrace] = []
+
+        def observe(record: StageTrace) -> None:
+            trace.append(record)
+            if observer is not None:
+                observer(record)
+
+        analysis = self.run_analysis(query, observe)
+        design = self.run_design(analysis, observe)
+        solution = self.run_solution(design, analysis, observe)
+        execution = self.run_execution(solution, design, analysis, params, observe)
+        curator_report = self.run_curation(design, execution, observe) if self.curate else None
 
         return PipelineResult(
             query=query,
@@ -163,3 +290,33 @@ class ArachNet:
             curator=curator_report,
             stage_trace=trace,
         )
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _cached_stage(self, stage, material_fn, compute, from_dict):
+        started = perf_counter()
+        with self._registry_guard():
+            material = material_fn()
+            if self.cache is not None:
+                payload = self.cache.fetch(stage, material)
+                if payload is not None:
+                    return from_dict(payload), True, perf_counter() - started
+            artifact = compute()
+            if self.cache is not None:
+                self.cache.store(stage, material, artifact.to_dict())
+        return artifact, False, perf_counter() - started
+
+    def _registry_guard(self):
+        """Stages iterate the registry (fingerprints, prompt rendering);
+        when curation can mutate it concurrently, they must serialize."""
+        return self._curate_lock if self.curate else nullcontext()
+
+    def _review(self, artifact, hook):
+        if self.mode == "expert" and hook is not None:
+            return hook(artifact), True
+        return artifact, False
+
+    @staticmethod
+    def _notify(observer: StageObserver | None, record: StageTrace) -> None:
+        if observer is not None:
+            observer(record)

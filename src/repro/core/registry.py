@@ -10,6 +10,7 @@ catalog at execution time.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass, field
 
@@ -62,14 +63,20 @@ class RegistryError(KeyError):
 
 @dataclass
 class Registry:
-    """A mutable collection of entries with lookup and rendering helpers."""
+    """A mutable collection of entries with lookup and rendering helpers.
+
+    Mutation goes through :meth:`add` — it is what keeps the memoized
+    fingerprint honest.
+    """
 
     entries: dict[str, RegistryEntry] = field(default_factory=dict)
+    _fingerprint: str | None = field(default=None, init=False, repr=False, compare=False)
 
     def add(self, entry: RegistryEntry) -> None:
         if entry.name in self.entries:
             raise ValueError(f"duplicate registry entry {entry.name!r}")
         self.entries[entry.name] = entry
+        self._fingerprint = None
 
     def get(self, name: str) -> RegistryEntry:
         try:
@@ -120,6 +127,18 @@ class Registry:
         """
         rows = [self.entries[name].to_dict() for name in self.names()]
         return json.dumps(rows, indent=None, separators=(",", ":"))
+
+    def fingerprint(self) -> str:
+        """Content hash of every entry — the cache-key component that makes
+        memoized stage artifacts invalid the moment the registry evolves
+        (e.g. the curator promotes a new composite entry).  Memoized until
+        the next :meth:`add`, since stage caching consults it per call.
+        """
+        if self._fingerprint is None:
+            self._fingerprint = hashlib.sha256(
+                self.to_prompt_text().encode("utf-8")
+            ).hexdigest()[:16]
+        return self._fingerprint
 
     def clone(self) -> "Registry":
         out = Registry()

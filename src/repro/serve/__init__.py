@@ -1,0 +1,54 @@
+"""ArachNet Serve: the concurrent query-serving layer.
+
+Turns the one-shot ``ArachNet.answer()`` pipeline into a service: a
+:class:`QueryBroker` accepts submissions and hands out tickets, a
+:class:`PriorityScheduler` orders them (priority + FIFO, sharded per
+world), a :class:`WorkerPool` of threads drains the queue, a shared
+:class:`ArtifactCache` memoizes the deterministic agent stages, and a
+:class:`ProvenanceLedger` records what every job cost and where each
+artifact came from.  :mod:`repro.serve.campaign` fans scenario matrices
+into batch submissions over the same machinery.
+"""
+
+from repro.serve.broker import (
+    DEFAULT_WORLD_KEY,
+    BrokerError,
+    Job,
+    JobState,
+    QueryBroker,
+    ServeConfig,
+)
+from repro.serve.cache import ArtifactCache, content_key
+from repro.serve.campaign import (
+    CampaignJob,
+    CampaignReport,
+    CampaignSpec,
+    aggregate_rankings,
+    run_campaign,
+)
+from repro.serve.provenance import JobProvenance, ProvenanceLedger, StageRecord
+from repro.serve.scheduler import PriorityScheduler, SchedulerClosed, WorldShard
+from repro.serve.workers import WorkerPool
+
+__all__ = [
+    "ArtifactCache",
+    "BrokerError",
+    "CampaignJob",
+    "CampaignReport",
+    "CampaignSpec",
+    "DEFAULT_WORLD_KEY",
+    "Job",
+    "JobProvenance",
+    "JobState",
+    "PriorityScheduler",
+    "ProvenanceLedger",
+    "QueryBroker",
+    "SchedulerClosed",
+    "ServeConfig",
+    "StageRecord",
+    "WorkerPool",
+    "WorldShard",
+    "aggregate_rankings",
+    "content_key",
+    "run_campaign",
+]

@@ -1,0 +1,313 @@
+"""QueryBroker: the serve subsystem's front door.
+
+Submissions become tickets; a ticket's job moves queued → running →
+done/failed while the caller polls ``status`` or blocks on ``wait``.  The
+broker owns the moving parts — one :class:`PriorityScheduler`, one
+:class:`WorkerPool`, one shared :class:`ArtifactCache`, one
+:class:`ProvenanceLedger`, and a :class:`WorldShard` per registered world
+— so callers only ever talk tickets and results.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable
+
+from repro.core.artifacts import PipelineResult
+from repro.core.registry import Registry
+from repro.serve.cache import ArtifactCache
+from repro.serve.provenance import ProvenanceLedger
+from repro.serve.scheduler import PriorityScheduler, SchedulerClosed, WorldShard
+from repro.serve.workers import WorkerPool
+from repro.synth.world import SyntheticWorld
+
+DEFAULT_WORLD_KEY = "default"
+
+
+class JobState(str, Enum):
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+
+
+@dataclass
+class ServeConfig:
+    """Tunables for one broker instance."""
+
+    workers: int = 4
+    cache_enabled: bool = True
+    max_cache_entries: int = 4096
+    curate: bool = False  # registry evolution is opt-in while serving
+    #: Finished jobs (and their ledger entries) beyond this bound are pruned
+    #: oldest-first so a long-running broker cannot grow without limit.
+    #: Size it above the largest campaign whose tickets are awaited at once.
+    max_retained_jobs: int = 10_000
+    #: Builds one LLM backend per shard; ``None`` keeps each system's default
+    #: (the deterministic :class:`SimulatedLLM`).
+    llm_factory: Callable[[], object] | None = None
+
+
+@dataclass
+class Job:
+    """One submitted query and everything known about its progress."""
+
+    ticket: str
+    query: str
+    params: dict | None
+    priority: int
+    world_key: str
+    state: JobState = JobState.QUEUED
+    result: PipelineResult | None = None
+    error: str = ""
+    done: threading.Event = field(default_factory=threading.Event, repr=False)
+
+    def to_dict(self) -> dict:
+        return {
+            "ticket": self.ticket,
+            "query": self.query,
+            "priority": self.priority,
+            "world_key": self.world_key,
+            "state": self.state.value,
+            "error": self.error,
+        }
+
+
+class BrokerError(RuntimeError):
+    """Unknown tickets, bad world keys, or use after shutdown."""
+
+
+class QueryBroker:
+    """Accepts measurement queries and serves them concurrently.
+
+    Usable as a context manager::
+
+        with QueryBroker(world) as broker:
+            ticket = broker.submit("Identify the impact ... SeaMeWe-5 ...")
+            result = broker.result(broker.wait(ticket).ticket)
+    """
+
+    def __init__(
+        self,
+        world: SyntheticWorld | None = None,
+        registry: Registry | None = None,
+        incidents: list | None = None,
+        config: ServeConfig | None = None,
+    ):
+        self.config = config or ServeConfig()
+        self.cache = (
+            ArtifactCache(max_entries=self.config.max_cache_entries)
+            if self.config.cache_enabled
+            else None
+        )
+        self.ledger = ProvenanceLedger()
+        self._scheduler = PriorityScheduler()
+        self._pool = WorkerPool(
+            self._scheduler, self._run_job, num_workers=self.config.workers
+        )
+        self._shards: dict[str, WorldShard] = {}
+        self._jobs: dict[str, Job] = {}  # insertion-ordered: oldest first
+        self._lock = threading.Lock()
+        self._ticket_counter = 0
+        self._pruned = 0
+        self._finished_total = {"done": 0, "failed": 0}
+        self._default_registry = registry
+        if world is not None:
+            self.add_world(DEFAULT_WORLD_KEY, world, incidents=incidents,
+                           registry=registry)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "QueryBroker":
+        if not self._pool.started:
+            self._pool.start()
+        return self
+
+    def shutdown(self, wait: bool = True, drain: bool = True) -> None:
+        if self._pool.started:
+            self._pool.shutdown(wait=wait, drain=drain)
+        else:
+            self._scheduler.close()
+
+    def __enter__(self) -> "QueryBroker":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # -- worlds ------------------------------------------------------------
+
+    def add_world(
+        self,
+        key: str,
+        world: SyntheticWorld,
+        incidents: list | None = None,
+        registry: Registry | None = None,
+    ) -> WorldShard:
+        """Register a world shard; jobs name it via ``world_key``."""
+        with self._lock:
+            if key in self._shards:
+                raise BrokerError(f"world key {key!r} already registered")
+            shard = WorldShard.build(
+                key,
+                world,
+                incidents=incidents,
+                registry=registry if registry is not None else self._default_registry,
+                llm=self.config.llm_factory() if self.config.llm_factory else None,
+                cache=self.cache,
+                curate=self.config.curate,
+            )
+            self._shards[key] = shard
+            return shard
+
+    def shard(self, key: str = DEFAULT_WORLD_KEY) -> WorldShard:
+        with self._lock:
+            try:
+                return self._shards[key]
+            except KeyError:
+                known = sorted(self._shards)
+                raise BrokerError(
+                    f"unknown world key {key!r}; registered: {known}"
+                ) from None
+
+    def world_keys(self) -> list[str]:
+        with self._lock:
+            return sorted(self._shards)
+
+    # -- submission & results ---------------------------------------------
+
+    def submit(
+        self,
+        query: str,
+        params: dict | None = None,
+        priority: int = 0,
+        world_key: str = DEFAULT_WORLD_KEY,
+    ) -> str:
+        """Queue one query; returns its ticket immediately."""
+        if not query or not query.strip():
+            raise BrokerError("query must be non-empty")
+        if self._scheduler.closed:
+            raise BrokerError("broker is shut down; no new submissions")
+        self.shard(world_key)  # validate the world key eagerly
+        with self._lock:
+            self._ticket_counter += 1
+            ticket = f"job-{self._ticket_counter:06d}"
+            job = Job(ticket=ticket, query=query, params=params,
+                      priority=priority, world_key=world_key)
+            self._jobs[ticket] = job
+        self.ledger.open(ticket, query, world_key)
+        try:
+            self._scheduler.push(job, priority=priority, shard=world_key)
+        except SchedulerClosed:
+            # Shutdown raced the submission — undo the registration rather
+            # than leave a permanently-queued orphan.
+            with self._lock:
+                self._jobs.pop(ticket, None)
+            self.ledger.remove(ticket)
+            raise BrokerError("broker is shut down; no new submissions") from None
+        return ticket
+
+    def job(self, ticket: str) -> Job:
+        with self._lock:
+            try:
+                return self._jobs[ticket]
+            except KeyError:
+                raise BrokerError(f"unknown ticket {ticket!r}") from None
+
+    def status(self, ticket: str) -> JobState:
+        return self.job(ticket).state
+
+    def wait(self, ticket: str, timeout: float | None = None) -> Job:
+        """Block until the job finishes (or raise on timeout)."""
+        job = self.job(ticket)
+        if not job.done.wait(timeout):
+            raise TimeoutError(f"{ticket} still {job.state.value} after {timeout}s")
+        return job
+
+    def result(self, ticket: str, timeout: float | None = None) -> PipelineResult:
+        """The finished job's :class:`PipelineResult` (waits if needed)."""
+        job = self.wait(ticket, timeout)
+        if job.state is JobState.FAILED:
+            raise BrokerError(f"{ticket} failed: {job.error}")
+        assert job.result is not None
+        return job.result
+
+    def wait_all(self, tickets: list[str], timeout: float | None = None) -> list[Job]:
+        return [self.wait(t, timeout) for t in tickets]
+
+    # -- introspection -----------------------------------------------------
+
+    def stats(self) -> dict:
+        with self._lock:
+            states: dict[str, int] = {}
+            for job in self._jobs.values():
+                states[job.state.value] = states.get(job.state.value, 0) + 1
+            submitted = self._ticket_counter
+            pruned = self._pruned
+            finished_total = dict(self._finished_total)
+        return {
+            "submitted": submitted,
+            "states": states,  # retained jobs only; see finished_total
+            "finished_total": finished_total,
+            "pruned": pruned,
+            "workers": self.config.workers,
+            "active_jobs": self._pool.active_jobs,
+            "scheduler": self._scheduler.stats(),
+            "cache": self.cache.stats() if self.cache else None,
+            "worlds": self.world_keys(),
+        }
+
+    # -- the worker-side job runner ---------------------------------------
+
+    def _run_job(self, job: Job, worker_name: str) -> None:
+        shard = self.shard(job.world_key)
+        provenance = self.ledger.get(job.ticket)
+        job.state = JobState.RUNNING
+        self.ledger.mark_started(job.ticket, worker_name)
+        try:
+            result = shard.system.answer(
+                job.query, params=job.params, observer=provenance.observer()
+            )
+        except Exception as exc:  # a failed job must never take a worker down
+            job.error = f"{type(exc).__name__}: {exc}"
+            job.state = JobState.FAILED
+            self.ledger.mark_finished(job.ticket, "failed", job.error)
+        else:
+            job.result = result
+            if result.execution.succeeded:
+                job.state = JobState.DONE
+                self.ledger.mark_finished(job.ticket, "done")
+            else:
+                job.error = result.execution.error
+                job.state = JobState.FAILED
+                self.ledger.mark_finished(job.ticket, "failed", job.error)
+        finally:
+            with self._lock:
+                key = "done" if job.state is JobState.DONE else "failed"
+                self._finished_total[key] += 1
+            job.done.set()
+            self._prune_finished()
+
+    def _prune_finished(self) -> None:
+        """Drop the oldest finished jobs beyond the retention bound.
+
+        A pruned ticket becomes unknown to ``status``/``wait``/``result`` —
+        callers that outlive ``max_retained_jobs`` submissions must collect
+        results promptly (campaigns do).
+        """
+        victims: list[str] = []
+        with self._lock:
+            overshoot = len(self._jobs) - self.config.max_retained_jobs
+            if overshoot > 0:
+                for ticket, job in self._jobs.items():
+                    if len(victims) >= overshoot:
+                        break
+                    if job.state in (JobState.DONE, JobState.FAILED):
+                        victims.append(ticket)
+                for ticket in victims:
+                    del self._jobs[ticket]
+                    self._pruned += 1
+        for ticket in victims:
+            self.ledger.remove(ticket)

@@ -1,0 +1,108 @@
+"""Content-addressed artifact cache for deterministic pipeline stages.
+
+Repeated or similar queries share work: two researchers asking about the
+same cable produce byte-identical ``ProblemAnalysis`` → ``WorkflowDesign``
+→ ``GeneratedSolution`` chains, so only the first submission pays for the
+agent calls.  Keys are content hashes over everything a stage's output is
+a function of — the stage name, its input artifacts, the world's data
+context and the registry fingerprint — which makes invalidation automatic:
+evolve the registry (or point at a different world) and the key changes.
+
+The cache stores artifacts as canonical JSON text, not live objects, so a
+hit reconstructs a fresh artifact and mutation by one job can never leak
+into another.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from collections import OrderedDict
+
+
+def content_key(stage: str, material: dict) -> str:
+    """Hash (stage, canonical-JSON material) to a stable hex key."""
+    canonical = json.dumps(material, sort_keys=True, separators=(",", ":"), default=str)
+    digest = hashlib.sha256(f"{stage}\x00{canonical}".encode("utf-8")).hexdigest()
+    return f"{stage}:{digest[:32]}"
+
+
+class ArtifactCache:
+    """Thread-safe LRU store of serialized stage artifacts.
+
+    Implements the two-method protocol :class:`repro.core.pipeline.ArachNet`
+    expects of its ``cache`` field: ``fetch`` returns the deserialized
+    payload dict (or ``None``) and ``store`` records one.
+    """
+
+    def __init__(self, max_entries: int = 4096):
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self._entries: OrderedDict[str, str] = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._per_stage: dict[str, dict[str, int]] = {}
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def fetch(self, stage: str, material: dict) -> dict | None:
+        key = content_key(stage, material)
+        with self._lock:
+            text = self._entries.get(key)
+            counters = self._per_stage.setdefault(stage, {"hits": 0, "misses": 0})
+            if text is None:
+                self._misses += 1
+                counters["misses"] += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            counters["hits"] += 1
+        return json.loads(text)
+
+    def store(self, stage: str, material: dict, payload: dict) -> str:
+        key = content_key(stage, material)
+        text = json.dumps(payload, sort_keys=True)
+        with self._lock:
+            self._entries[key] = text
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+        return key
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        with self._lock:
+            total = self._hits + self._misses
+            return self._hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        with self._lock:
+            total = self._hits + self._misses
+            return {
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "hit_rate": self._hits / total if total else 0.0,
+                "per_stage": {k: dict(v) for k, v in self._per_stage.items()},
+            }
+
+    def reset_stats(self) -> None:
+        """Zero the counters without dropping cached artifacts."""
+        with self._lock:
+            self._hits = 0
+            self._misses = 0
+            self._evictions = 0
+            self._per_stage.clear()

@@ -1,0 +1,180 @@
+"""Per-job provenance: who produced what, when, and from cache or fresh.
+
+Every served job gets a ledger entry recording its lifecycle timestamps
+and one record per pipeline stage — the agent attribution, artifact kind,
+wall-clock duration and whether the artifact came from the cache.  This is
+the serve-layer analogue of the paper's Figure-1 trace (and of
+PROV-AGENT-style agent provenance): the trace says *which agents* ran, the
+ledger says *what each cost* and *where its output came from*.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.core.artifacts import StageTrace
+
+
+@dataclass
+class StageRecord:
+    """One pipeline stage of one served job."""
+
+    stage: str  # agent name: querymind | workflowscout | ...
+    artifact_kind: str
+    duration_s: float
+    cache_hit: bool = False
+    expert_reviewed: bool = False
+
+    @classmethod
+    def from_trace(cls, trace: StageTrace) -> "StageRecord":
+        return cls(
+            stage=trace.agent,
+            artifact_kind=trace.artifact_kind,
+            duration_s=trace.duration_s,
+            cache_hit=trace.cache_hit,
+            expert_reviewed=trace.expert_reviewed,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "stage": self.stage,
+            "artifact_kind": self.artifact_kind,
+            "duration_s": self.duration_s,
+            "cache_hit": self.cache_hit,
+            "expert_reviewed": self.expert_reviewed,
+        }
+
+
+@dataclass
+class JobProvenance:
+    """The full ledger entry for one served job."""
+
+    job_id: str
+    query: str
+    world_key: str = "default"
+    worker: str = ""
+    submitted_at: float = 0.0
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    status: str = "queued"
+    error: str = ""
+    stages: list[StageRecord] = field(default_factory=list)
+
+    @property
+    def queue_delay_s(self) -> float:
+        if self.started_at and self.submitted_at:
+            return max(0.0, self.started_at - self.submitted_at)
+        return 0.0
+
+    @property
+    def run_duration_s(self) -> float:
+        if self.finished_at and self.started_at:
+            return max(0.0, self.finished_at - self.started_at)
+        return 0.0
+
+    def cache_hits(self) -> int:
+        return sum(1 for s in self.stages if s.cache_hit)
+
+    def observer(self):
+        """A :data:`~repro.core.pipeline.StageObserver` appending to this entry."""
+
+        def observe(trace: StageTrace) -> None:
+            self.stages.append(StageRecord.from_trace(trace))
+
+        return observe
+
+    def to_dict(self) -> dict:
+        return {
+            "job_id": self.job_id,
+            "query": self.query,
+            "world_key": self.world_key,
+            "worker": self.worker,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "status": self.status,
+            "error": self.error,
+            "queue_delay_s": self.queue_delay_s,
+            "run_duration_s": self.run_duration_s,
+            "stages": [s.to_dict() for s in self.stages],
+        }
+
+
+class ProvenanceLedger:
+    """Thread-safe collection of job provenance entries."""
+
+    def __init__(self, clock=time.time):
+        self._clock = clock
+        self._entries: dict[str, JobProvenance] = {}
+        self._lock = threading.Lock()
+
+    def now(self) -> float:
+        return self._clock()
+
+    def open(self, job_id: str, query: str, world_key: str = "default") -> JobProvenance:
+        entry = JobProvenance(
+            job_id=job_id, query=query, world_key=world_key,
+            submitted_at=self.now(),
+        )
+        with self._lock:
+            self._entries[job_id] = entry
+        return entry
+
+    def get(self, job_id: str) -> JobProvenance:
+        with self._lock:
+            return self._entries[job_id]
+
+    def remove(self, job_id: str) -> None:
+        with self._lock:
+            self._entries.pop(job_id, None)
+
+    def jobs(self) -> list[JobProvenance]:
+        with self._lock:
+            return list(self._entries.values())
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def mark_started(self, job_id: str, worker: str) -> None:
+        entry = self.get(job_id)
+        entry.worker = worker
+        entry.started_at = self.now()
+        entry.status = "running"
+
+    def mark_finished(self, job_id: str, status: str, error: str = "") -> None:
+        entry = self.get(job_id)
+        entry.finished_at = self.now()
+        entry.status = status
+        entry.error = error
+
+    def summary(self) -> dict:
+        """Aggregate stage timings and cache economics across all jobs."""
+        jobs = self.jobs()
+        per_stage: dict[str, dict] = {}
+        for job in jobs:
+            for record in job.stages:
+                agg = per_stage.setdefault(
+                    record.stage,
+                    {"calls": 0, "cache_hits": 0, "total_s": 0.0},
+                )
+                agg["calls"] += 1
+                agg["cache_hits"] += 1 if record.cache_hit else 0
+                agg["total_s"] += record.duration_s
+        for agg in per_stage.values():
+            agg["mean_s"] = agg["total_s"] / agg["calls"] if agg["calls"] else 0.0
+        finished = [j for j in jobs if j.finished_at]
+        return {
+            "jobs": len(jobs),
+            "finished": len(finished),
+            "failed": sum(1 for j in jobs if j.status == "failed"),
+            "mean_queue_delay_s": (
+                sum(j.queue_delay_s for j in finished) / len(finished) if finished else 0.0
+            ),
+            "mean_run_duration_s": (
+                sum(j.run_duration_s for j in finished) / len(finished) if finished else 0.0
+            ),
+            "per_stage": per_stage,
+        }

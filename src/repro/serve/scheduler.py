@@ -1,0 +1,133 @@
+"""Priority + FIFO scheduling with per-world sharding.
+
+The scheduler orders submitted jobs by ``(priority desc, arrival order)``
+— a batch campaign can be drowned out by an interactive researcher asking
+one urgent question, but within a priority band service stays first-come
+first-served.
+
+Sharding: every job belongs to a *world shard*.  A shard owns one
+:class:`~repro.core.catalog.MeasurementContext` and the :class:`ArachNet`
+system assembled over it, so all queries against the same
+``SyntheticWorld`` share grounding context, registry and LLM backend —
+the expensive objects are built once per world, never per query.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.pipeline import ArachNet
+from repro.core.registry import Registry, default_registry
+from repro.synth.world import SyntheticWorld
+
+
+@dataclass
+class WorldShard:
+    """One measurement world and the serving system assembled over it.
+
+    Carries no lock of its own: the shared ``ArachNet`` serializes registry
+    evolution internally, and every other shard member is immutable or
+    thread-safe.
+    """
+
+    key: str
+    system: ArachNet
+
+    @property
+    def world(self) -> SyntheticWorld:
+        return self.system.context.world
+
+    @classmethod
+    def build(
+        cls,
+        key: str,
+        world: SyntheticWorld,
+        incidents: list | None = None,
+        registry: Registry | None = None,
+        llm=None,
+        cache=None,
+        curate: bool = False,
+    ) -> "WorldShard":
+        """Assemble a shard; the registry is cloned so curator evolution in
+        one shard never rewrites another shard's capability surface."""
+        kwargs: dict = {"curate": curate, "cache": cache}
+        if llm is not None:
+            kwargs["llm"] = llm
+        system = ArachNet.for_world(
+            world,
+            registry=(registry if registry is not None else default_registry()).clone(),
+            incidents=incidents,
+            **kwargs,
+        )
+        return cls(key=key, system=system)
+
+
+class SchedulerClosed(RuntimeError):
+    """Raised when pushing to a scheduler that has been closed."""
+
+
+class PriorityScheduler:
+    """Thread-safe priority queue with FIFO order inside each band."""
+
+    def __init__(self):
+        self._heap: list[tuple[int, int, str, Any]] = []
+        self._seq = itertools.count()
+        self._cond = threading.Condition()
+        self._closed = False
+        self._pushed = 0
+        self._popped = 0
+        self._per_shard: dict[str, int] = {}
+
+    def push(self, item: Any, priority: int = 0, shard: str = "default") -> None:
+        with self._cond:
+            if self._closed:
+                raise SchedulerClosed("scheduler is closed to new work")
+            heapq.heappush(self._heap, (-priority, next(self._seq), shard, item))
+            self._pushed += 1
+            self._per_shard[shard] = self._per_shard.get(shard, 0) + 1
+            self._cond.notify()
+
+    def pop(self, timeout: float | None = None) -> Any | None:
+        """Next job by priority then arrival; ``None`` on timeout or when the
+        scheduler is closed and drained."""
+        with self._cond:
+            while not self._heap:
+                if self._closed:
+                    return None
+                if not self._cond.wait(timeout):
+                    return None
+            _, _, shard, item = heapq.heappop(self._heap)
+            self._popped += 1
+            self._per_shard[shard] -= 1
+            return item
+
+    def close(self) -> None:
+        """Refuse new work and wake every blocked consumer."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._heap)
+
+    def stats(self) -> dict:
+        with self._cond:
+            return {
+                "queued": len(self._heap),
+                "pushed": self._pushed,
+                "popped": self._popped,
+                "closed": self._closed,
+                "per_shard_queued": {
+                    k: v for k, v in sorted(self._per_shard.items()) if v
+                },
+            }

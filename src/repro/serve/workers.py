@@ -1,0 +1,102 @@
+"""The worker pool: N threads draining the scheduler.
+
+Threads — not processes — because the production bottleneck is hosted-LLM
+round-trip latency, which threads overlap perfectly; artifacts stay in
+shared memory so the cache and provenance ledger need no serialization.
+Shutdown is graceful: in-flight jobs always run to completion, and
+``drain=True`` additionally finishes everything already queued.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable
+
+from repro.serve.scheduler import PriorityScheduler
+
+#: ``handler(item, worker_name)`` — must not raise; job-level errors are the
+#: handler's to record.
+JobHandler = Callable[[Any, str], None]
+
+_POLL_INTERVAL_S = 0.05
+
+
+class WorkerPool:
+    """A ``ThreadPoolExecutor``-backed pool of scheduler consumers."""
+
+    def __init__(
+        self,
+        scheduler: PriorityScheduler,
+        handler: JobHandler,
+        num_workers: int = 4,
+        name: str = "arachnet-serve",
+    ):
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self._scheduler = scheduler
+        self._handler = handler
+        self.num_workers = num_workers
+        self._name = name
+        self._stop = threading.Event()
+        self._drain = False
+        self._executor: ThreadPoolExecutor | None = None
+        self._futures = []
+        self._active = 0
+        self._active_lock = threading.Lock()
+
+    def start(self) -> "WorkerPool":
+        if self._executor is not None:
+            raise RuntimeError("worker pool already started")
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.num_workers, thread_name_prefix=self._name
+        )
+        self._futures = [
+            self._executor.submit(self._run_loop, f"{self._name}-{i}")
+            for i in range(self.num_workers)
+        ]
+        return self
+
+    @property
+    def started(self) -> bool:
+        return self._executor is not None
+
+    @property
+    def active_jobs(self) -> int:
+        with self._active_lock:
+            return self._active
+
+    def shutdown(self, wait: bool = True, drain: bool = True) -> None:
+        """Stop the pool.
+
+        ``drain=True`` (the default) lets workers finish every queued job
+        first; ``drain=False`` abandons the queue after in-flight jobs
+        complete.  Safe to call more than once.
+        """
+        self._drain = drain
+        self._stop.set()
+        self._scheduler.close()
+        if self._executor is not None:
+            self._executor.shutdown(wait=wait)
+
+    def _should_exit(self) -> bool:
+        if not self._stop.is_set():
+            return False
+        return not (self._drain and len(self._scheduler) > 0)
+
+    def _run_loop(self, worker_name: str) -> None:
+        while True:
+            if self._stop.is_set() and not self._drain:
+                return  # abandon whatever is still queued
+            item = self._scheduler.pop(timeout=_POLL_INTERVAL_S)
+            if item is None:
+                if self._should_exit() or self._scheduler.closed:
+                    return
+                continue
+            with self._active_lock:
+                self._active += 1
+            try:
+                self._handler(item, worker_name)
+            finally:
+                with self._active_lock:
+                    self._active -= 1

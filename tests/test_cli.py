@@ -65,3 +65,72 @@ def test_incident_flag_enables_forensics(capsys):
     payload = json.loads(capsys.readouterr().out)
     final = payload["execution"]["outputs"]["final"]
     assert final["identified_cable_name"] == "SeaMeWe-5"
+
+
+def test_parser_serve_defaults():
+    args = build_parser().parse_args(["--batch", "--workers", "8"])
+    assert args.batch and args.workers == 8
+    assert not args.serve and not args.no_cache
+
+
+def test_batch_mode_runs_campaign(capsys):
+    code = main(["--batch", "--limit", "2", "--workers", "2"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "campaign:" in out
+    assert "jobs/s" in out
+    assert "top exposed countries" in out
+
+
+def test_batch_mode_json(capsys):
+    code = main(["--batch", "--limit", "2", "--workers", "2", "--json"])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["total"] == 4  # 2 cables + 2 disaster kinds
+    assert payload["failed"] == 0
+    assert payload["cache"]["hit_rate"] >= 0.0
+    assert payload["ledger"]["per_stage"]["querymind"]["calls"] == 4
+
+
+def test_batch_mode_no_cache(capsys):
+    code = main(["--batch", "--limit", "1", "--workers", "1", "--no-cache",
+                 "--json"])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["cache"] is None
+
+
+def test_serve_mode_reads_stdin(capsys, monkeypatch):
+    import io
+
+    queries = ("Identify the impact at a country level due to SeaMeWe-5 "
+               "cable failure\n") * 2
+    monkeypatch.setattr("sys.stdin", io.StringIO(queries))
+    code = main(["--serve", "--workers", "2"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert out.count("done") == 2
+    assert "cache hit rate" in out
+
+
+def test_serve_mode_rejects_empty_stdin(capsys, monkeypatch):
+    import io
+
+    monkeypatch.setattr("sys.stdin", io.StringIO("\n\n"))
+    assert main(["--serve"]) == 2
+    assert "one query per line" in capsys.readouterr().err
+
+
+def test_serve_mode_json(capsys, monkeypatch):
+    import io
+
+    queries = ("Identify the impact at a country level due to SeaMeWe-5 "
+               "cable failure\n") * 2
+    monkeypatch.setattr("sys.stdin", io.StringIO(queries))
+    code = main(["--serve", "--workers", "2", "--json"])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert len(payload["jobs"]) == 2
+    assert all(j["state"] == "done" for j in payload["jobs"])
+    assert payload["jobs"][0]["final"]["title"]
+    assert payload["ledger"]["per_stage"]["querymind"]["calls"] == 2

@@ -153,3 +153,57 @@ def test_generated_code_has_no_framework_imports(catalog):
     solution = generate_solution(_design(steps), _plan(["s1"], qa=()), "q")
     assert "import repro" not in solution.source_code
     assert "from repro" not in solution.source_code
+
+
+def test_builtins_dict_normalizes_module_form():
+    import builtins as builtins_module
+
+    from repro.core.executor import builtins_dict
+
+    as_dict = builtins_dict(builtins_module)
+    assert isinstance(as_dict, dict)
+    assert as_dict["len"] is len
+    assert as_dict["sorted"] is sorted
+
+
+def test_builtins_dict_normalizes_dict_form():
+    from repro.core.executor import builtins_dict
+
+    original = {"len": len, "min": min}
+    as_dict = builtins_dict(original)
+    assert as_dict == original
+    # A copy, not the same mapping — sandbox writes must not leak back.
+    as_dict["min"] = None
+    assert original["min"] is min
+
+
+@pytest.mark.parametrize("form", ["module", "dict"])
+def test_generated_code_can_call_builtins_under_both_forms(catalog, form):
+    """Regression: the sandbox namespace must expose builtins as a dict
+    regardless of whether the executor module saw ``__builtins__`` as the
+    module (script-style import) or as a dict (package-style import)."""
+    import builtins as builtins_module
+
+    from repro.core import executor
+
+    solution = GeneratedSolution(
+        source_code=(
+            "def run(catalog, params=None):\n"
+            "    assert isinstance(__builtins__, dict)\n"
+            "    values = sorted([len('ab'), max(1, 3), abs(-7)])\n"
+            "    return {'results': values}\n"
+        ),
+    )
+    forms = {"module": builtins_module, "dict": dict(vars(builtins_module))}
+    original = executor.builtins_dict
+
+    def patched():
+        return original(forms[form])
+
+    try:
+        executor.builtins_dict = patched
+        outcome = executor.execute_solution(solution, catalog)
+    finally:
+        executor.builtins_dict = original
+    assert outcome.succeeded, outcome.error
+    assert outcome.outputs["results"] == [2, 3, 7]

@@ -110,3 +110,78 @@ def test_pipeline_params_override(world):
     final = result.execution.outputs["final"]
     assert "FALCON" in str(final.get("context", {}).get("cable_name", "")) or \
         result.execution.succeeded
+
+
+def test_data_context_precomputed_once(world):
+    system = ArachNet.for_world(world)
+    assert system.data_context == build_data_context(world)
+    # Derived in __post_init__, not per answer() call.
+    assert system.data_context is system.data_context
+    before = system.data_context
+    system.answer(CS1)
+    assert system.data_context is before
+
+
+def test_stages_individually_invokable(world):
+    system = ArachNet.for_world(world, curate=False)
+    analysis = system.run_analysis(CS1)
+    design = system.run_design(analysis)
+    solution = system.run_solution(design, analysis)
+    execution = system.run_execution(solution, design, analysis)
+    assert analysis.intent == "cable_failure_impact"
+    assert design.chosen.steps
+    assert "def run" in solution.source_code
+    assert execution.succeeded
+    # The staged path and the one-shot path agree exactly.
+    one_shot = system.answer(CS1)
+    assert one_shot.solution.source_code == solution.source_code
+    assert one_shot.execution.outputs["final"] == execution.outputs["final"]
+
+
+def test_stage_observer_receives_every_stage(world):
+    records = []
+    system = ArachNet.for_world(world)
+    system.answer(CS1, observer=records.append)
+    assert [r.agent for r in records] == [
+        "querymind", "workflowscout", "solutionweaver", "executor",
+        "registrycurator"]
+    assert all(r.duration_s >= 0.0 for r in records)
+    assert not any(r.cache_hit for r in records)
+
+
+def test_pipeline_cache_hits_are_byte_identical(world):
+    from repro.serve.cache import ArtifactCache
+
+    cache = ArtifactCache()
+    system = ArachNet.for_world(world, curate=False, cache=cache)
+    cold = system.answer(CS1)
+    warm = system.answer(CS1)
+    hits = {t.agent: t.cache_hit for t in warm.stage_trace}
+    assert hits == {"querymind": True, "workflowscout": True,
+                    "solutionweaver": True, "executor": False}
+    assert warm.solution.source_code == cold.solution.source_code
+    assert warm.analysis.to_dict() == cold.analysis.to_dict()
+    assert warm.design.to_dict() == cold.design.to_dict()
+
+
+def test_registry_evolution_invalidates_cache(world):
+    from repro.serve.cache import ArtifactCache
+
+    from repro.core.registry import RegistryEntry
+
+    cache = ArtifactCache()
+    # Registry evolution (e.g. a curator-promoted entry) changes the
+    # fingerprint — the next identical query must not reuse stale artifacts.
+    system = ArachNet.for_world(world, curate=False, cache=cache)
+    system.answer(CS1)
+    before = system.registry.fingerprint()
+    system.registry.add(RegistryEntry(
+        name="custom.new_capability", framework="custom",
+        summary="added mid-serving", capabilities=("novelty",),
+        inputs=(), outputs=(),
+    ))
+    assert system.registry.fingerprint() != before
+    second = system.answer(CS1)
+    analysis_hit = next(t for t in second.stage_trace
+                        if t.agent == "querymind").cache_hit
+    assert not analysis_hit
