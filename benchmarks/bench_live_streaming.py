@@ -1,0 +1,155 @@
+"""L1 — Live streaming: epoch throughput and alert-detection latency.
+
+Replays the canonical cable-cut timeline through the full live stack
+(world timeline → telemetry streams → online detectors → standing queries
+over the broker) and reports epochs/sec, per-incident detection latency,
+and the standing-query cache economics — then replays the *same* timeline
+against the warm broker to show that an unchanged world recomputes
+nothing.
+
+Standalone (what CI smokes)::
+
+    PYTHONPATH=src python benchmarks/bench_live_streaming.py --smoke
+
+or as pytest::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_live_streaming.py -s
+
+Results are also written to ``BENCH_live_streaming.json`` so CI can archive
+the perf trajectory per PR.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+from repro.live import (
+    LiveConfig,
+    default_cable_cut_timeline,
+    default_cut_epoch,
+    run_live_replay,
+)
+from repro.serve import QueryBroker, ServeConfig
+from repro.synth.world import WorldConfig, build_world
+
+#: Acceptance thresholds this benchmark demonstrates.
+MAX_MEAN_DETECTION_LATENCY_EPOCHS = 2.0
+MIN_WARM_HIT_RATE = 1.0  # an unchanged timeline must be 100% cache hits
+MIN_COLD_EPOCHS_PER_SEC = 1.0
+
+
+def replay(world, timeline, config, broker) -> "LiveReport":
+    return run_live_replay(
+        world=world, timeline_events=timeline, config=config, broker=broker
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--epochs", type=int, default=48)
+    parser.add_argument("--pairs", type=int, default=8)
+    parser.add_argument("--samples", type=int, default=4)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI preset: 12 epochs, 4 pairs, 2 samples")
+    parser.add_argument("--no-assert", action="store_true",
+                        help="report only; skip threshold assertions")
+    parser.add_argument("--out", default="BENCH_live_streaming.json",
+                        help="write the result summary here ('' disables)")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.epochs, args.pairs, args.samples = 12, 4, 2
+
+    world = build_world(WorldConfig(seed=7))
+    config = LiveConfig(
+        epochs=args.epochs,
+        workers=args.workers,
+        pair_count=args.pairs,
+        samples_per_pair=args.samples,
+    )
+    timeline = default_cable_cut_timeline(
+        world, cut_epoch=default_cut_epoch(args.epochs)
+    )
+
+    print(f"\n=== live streaming — {args.epochs} epochs, {args.pairs} pairs x "
+          f"{args.samples} samples, {args.workers} workers ===")
+    broker = QueryBroker(world, config=ServeConfig(workers=args.workers)).start()
+    try:
+        cold = replay(world, timeline, config, broker)
+        warm = replay(world, timeline, config, broker)
+    finally:
+        broker.shutdown()
+
+    latency = cold.mean_detection_latency_epochs
+    cold_standing = cold.standing_stats
+    warm_standing = warm.standing_stats
+    print(f"  cold   {cold.duration_s:6.2f}s  {cold.epochs_per_sec:7.1f} epochs/s  "
+          f"{len(cold.alerts)} alerts  standing {cold_standing['submitted']} computed "
+          f"/ {cold_standing['cache_hits']} hits")
+    print(f"  warm   {warm.duration_s:6.2f}s  {warm.epochs_per_sec:7.1f} epochs/s  "
+          f"{len(warm.alerts)} alerts  standing {warm_standing['submitted']} computed "
+          f"/ {warm_standing['cache_hits']} hits")
+    print(f"  detection: {cold.detected_incidents}/{len(cold.incident_epochs)} "
+          f"incidents, mean latency "
+          f"{latency if latency is not None else 'n/a'} epochs")
+
+    summary = {
+        "benchmark": "live_streaming",
+        "epochs": args.epochs,
+        "pairs": args.pairs,
+        "samples_per_pair": args.samples,
+        "workers": args.workers,
+        "cold_epochs_per_sec": round(cold.epochs_per_sec, 2),
+        "warm_epochs_per_sec": round(warm.epochs_per_sec, 2),
+        "cold_duration_s": round(cold.duration_s, 4),
+        "warm_duration_s": round(warm.duration_s, 4),
+        "alerts": len(cold.alerts),
+        "detected_incidents": cold.detected_incidents,
+        "incidents": len(cold.incident_epochs),
+        "mean_detection_latency_epochs": latency,
+        "cold_standing": cold_standing,
+        "warm_standing": warm_standing,
+        "detection": cold.detection,
+    }
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(summary, handle, indent=1, default=str)
+        print(f"  wrote {args.out}")
+
+    if not args.no_assert:
+        assert cold.detected_incidents == len(cold.incident_epochs), (
+            f"only {cold.detected_incidents}/{len(cold.incident_epochs)} "
+            "incidents detected"
+        )
+        assert latency is not None and latency <= MAX_MEAN_DETECTION_LATENCY_EPOCHS, (
+            f"mean detection latency {latency} epochs exceeds "
+            f"{MAX_MEAN_DETECTION_LATENCY_EPOCHS}"
+        )
+        assert warm_standing["submitted"] == 0, (
+            f"warm replay recomputed {warm_standing['submitted']} standing jobs; "
+            "an unchanged timeline must be pure cache hits"
+        )
+        assert warm_standing["hit_rate"] >= MIN_WARM_HIT_RATE, (
+            f"warm hit rate {warm_standing['hit_rate']:.0%} below "
+            f"{MIN_WARM_HIT_RATE:.0%}"
+        )
+        assert cold.epochs_per_sec >= MIN_COLD_EPOCHS_PER_SEC, (
+            f"cold replay at {cold.epochs_per_sec:.2f} epochs/s below "
+            f"{MIN_COLD_EPOCHS_PER_SEC}"
+        )
+        print(f"  thresholds met: all incidents detected within "
+              f"{MAX_MEAN_DETECTION_LATENCY_EPOCHS} epochs, warm replay "
+              f"recomputes nothing")
+    return 0
+
+
+def test_live_streaming_smoke(tmp_path):
+    """Pytest entry point: the CI smoke preset must meet every threshold."""
+    out = tmp_path / "BENCH_live_streaming.json"
+    assert main(["--smoke", "--out", str(out)]) == 0
+    assert json.loads(out.read_text())["detected_incidents"] >= 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

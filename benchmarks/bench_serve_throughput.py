@@ -19,6 +19,7 @@ or as pytest::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.core.llm.simulated import SimulatedHostedLLM
@@ -80,6 +81,8 @@ def main(argv: list[str] | None = None) -> int:
                         help="CI preset: 12 jobs, 25ms latency, workers 1,4")
     parser.add_argument("--no-assert", action="store_true",
                         help="report only; skip threshold assertions")
+    parser.add_argument("--out", default="BENCH_serve_throughput.json",
+                        help="write the result summary here ('' disables)")
     args = parser.parse_args(argv)
     if args.smoke:
         args.jobs, args.latency_ms, args.workers = 12, 25.0, "1,4"
@@ -118,6 +121,20 @@ def main(argv: list[str] | None = None) -> int:
           f"({warm.jobs_per_sec / cold_jps:.1f}x vs cold)")
     last_broker.shutdown()
 
+    if args.out:
+        summary = {
+            "benchmark": "serve_throughput",
+            "jobs": len(jobs),
+            "latency_ms": args.latency_ms,
+            "jobs_per_sec": {str(w): round(v, 2) for w, v in throughput.items()},
+            "speedup": round(speedup, 3),
+            "warm_jobs_per_sec": round(warm.jobs_per_sec, 2),
+            "warm_hit_rate": round(hit_rate, 4),
+        }
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(summary, handle, indent=1)
+        print(f"  wrote {args.out}")
+
     if not args.no_assert:
         min_speedup = SMOKE_MIN_SPEEDUP if args.smoke else MIN_WORKER_SPEEDUP
         assert speedup >= min_speedup, (
@@ -131,9 +148,9 @@ def main(argv: list[str] | None = None) -> int:
     return 0
 
 
-def test_serve_throughput_smoke():
+def test_serve_throughput_smoke(tmp_path):
     """Pytest entry point: the CI smoke preset must meet both thresholds."""
-    assert main(["--smoke"]) == 0
+    assert main(["--smoke", "--out", str(tmp_path / "BENCH_serve_throughput.json")]) == 0
 
 
 if __name__ == "__main__":

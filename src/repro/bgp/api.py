@@ -114,7 +114,9 @@ def correlate_updates_with_window(
     the rate outside it.  A ratio well above 1 is independent routing-layer
     confirmation that something physical happened at that time.
     """
-    if not update_rows:
+    if not update_rows or anomaly_start is None or anomaly_end is None:
+        # No updates, or no anomaly window to correlate against (a healthy
+        # world gives the forensic workflow nothing to anchor on).
         return {"inside_rate": 0.0, "outside_rate": 0.0, "rate_ratio": 0.0, "correlated": False}
     lo = anomaly_start - margin_seconds
     hi = anomaly_end + margin_seconds

@@ -60,6 +60,9 @@ class BGPCollectorSim:
     def __post_init__(self) -> None:
         self._graph = ASGraph.from_world(self.world)
         self._peers = self._select_peers()
+        # (frozen failed-link set) -> route table; the live feed diffs epoch
+        # route tables and a replay revisits the same few failure states.
+        self._route_cache: dict[frozenset[str], dict[tuple[int, str], tuple[int, ...]]] = {}
 
     def _select_peers(self) -> list[int]:
         """Deterministic vantage points: tier-1s first, then tier-2s."""
@@ -73,15 +76,93 @@ class BGPCollectorSim:
 
     def baseline_routes(self) -> dict[tuple[int, str], tuple[int, ...]]:
         """(peer, prefix) → AS path at steady state."""
-        router = ValleyFreeRouter(self._graph)
-        routes: dict[tuple[int, str], tuple[int, ...]] = {}
-        for peer in self._peers:
-            paths = router.paths_from(peer)
-            for prefix in self.world.all_prefixes():
-                path = paths.get(prefix.asn)
-                if path is not None:
-                    routes[(peer, prefix.cidr)] = path
-        return routes
+        return dict(self.routes_under(frozenset()))
+
+    def routes_under(
+        self, failed_link_ids: frozenset[str] = frozenset()
+    ) -> dict[tuple[int, str], tuple[int, ...]]:
+        """(peer, prefix) → AS path with the given links out of service.
+
+        Memoized per failure set; callers must not mutate the returned dict.
+        """
+        if failed_link_ids not in self._route_cache:
+            graph = self._graph
+            if failed_link_ids:
+                dead = failed_as_pairs(self.world, sorted(failed_link_ids))
+                graph = graph.without_pairs(dead)
+            router = ValleyFreeRouter(graph)
+            routes: dict[tuple[int, str], tuple[int, ...]] = {}
+            for peer in self._peers:
+                paths = router.paths_from(peer)
+                for prefix in self.world.all_prefixes():
+                    path = paths.get(prefix.asn)
+                    if path is not None:
+                        routes[(peer, prefix.cidr)] = path
+            self._route_cache[failed_link_ids] = routes
+        return self._route_cache[failed_link_ids]
+
+    def delta_updates(
+        self,
+        ts: float,
+        failed_before: frozenset[str],
+        failed_after: frozenset[str],
+        window_end: float | None = None,
+    ) -> list[BGPUpdate]:
+        """The re-convergence burst when the failure set changes at ``ts``.
+
+        Symmetric in direction: a cable cut (links joining the failed set)
+        withdraws or re-announces the routes that crossed it, and a repair
+        (links leaving the set) announces recovered routes back — which is
+        what lets a live timeline *heal* events, not just fire them.
+        """
+        before = self.routes_under(failed_before)
+        after = self.routes_under(failed_after)
+        if before == after:
+            return []
+        horizon = window_end if window_end is not None else ts + self.config.convergence_window_s
+        rng = random.Random(f"{self.config.seed}:{ts:.3f}")
+        updates: list[BGPUpdate] = []
+        for key in sorted(set(before) | set(after)):
+            old_path = before.get(key)
+            new_path = after.get(key)
+            if old_path == new_path:
+                continue
+            peer, prefix = key
+            update_ts = min(
+                horizon, ts + rng.uniform(1.0, self.config.convergence_window_s)
+            )
+            if new_path is None:
+                updates.append(
+                    BGPUpdate(update_ts, self.config.name, peer, UpdateKind.WITHDRAW, prefix)
+                )
+                continue
+            if (
+                old_path is not None
+                and rng.random() < self.config.exploration_prob
+                and len(new_path) >= 2
+            ):
+                explore_ts = min(horizon, ts + rng.uniform(1.0, 60.0))
+                padded = new_path[:1] + new_path[1:2] + new_path[1:]
+                updates.append(
+                    BGPUpdate(explore_ts, self.config.name, peer,
+                              UpdateKind.ANNOUNCE, prefix, padded)
+                )
+            updates.append(
+                BGPUpdate(update_ts, self.config.name, peer,
+                          UpdateKind.ANNOUNCE, prefix, new_path)
+            )
+        updates.sort(key=lambda u: (u.ts, u.peer_asn, u.prefix, u.kind.value))
+        return updates
+
+    def churn_updates(self, window_start: float, window_end: float) -> list[BGPUpdate]:
+        """Background churn alone for one window, seeded per window start so
+        successive epochs draw independent (but reproducible) flaps."""
+        if window_end <= window_start:
+            raise ValueError("window_end must be after window_start")
+        rng = random.Random(f"{self.config.seed}:churn:{window_start:.3f}")
+        updates = self._background_churn(rng, window_start, window_end)
+        updates.sort(key=lambda u: (u.ts, u.peer_asn, u.prefix, u.kind.value))
+        return updates
 
     def generate_updates(
         self,

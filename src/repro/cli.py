@@ -14,6 +14,13 @@ Serve modes (the :mod:`repro.serve` subsystem)::
     python -m repro --batch --workers 8               # scenario-matrix campaign
     python -m repro --batch --limit 10 --json
     echo "query-per-line" | python -m repro --serve   # concurrent stdin serving
+    python -m repro --serve --cache-dir .cache < qs   # warm cache across restarts
+
+Live mode (the :mod:`repro.live` subsystem)::
+
+    python -m repro --live --epochs 24                # replay a cable-cut timeline
+    python -m repro --live --incident AAE-1 --cache-dir .cache
+    python -m repro --live --pace-ms 250 --epochs 12  # paced, 4 epochs/sec
 """
 
 from __future__ import annotations
@@ -64,6 +71,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="cap the number of cables in the --batch matrix")
     serve.add_argument("--cascades", action="store_true",
                        help="include cascade scenarios in the --batch matrix")
+    serve.add_argument("--cache-dir", metavar="DIR",
+                       help="persist the artifact cache in DIR so warm hit "
+                            "rates survive broker restarts")
+    live = parser.add_argument_group("live mode")
+    live.add_argument("--live", action="store_true",
+                      help="replay a scenario timeline: epoch-stepped world "
+                           "evolution, telemetry streams, online detectors "
+                           "and standing queries")
+    live.add_argument("--epochs", type=int, default=24, metavar="N",
+                      help="epochs to replay in --live (default 24)")
+    live.add_argument("--pace-ms", type=float, default=0.0, metavar="MS",
+                      help="real milliseconds per epoch (default 0 = as fast "
+                           "as possible)")
     return parser
 
 
@@ -73,15 +93,40 @@ def _serve_config(args) -> "ServeConfig":
     return ServeConfig(workers=args.workers, cache_enabled=not args.no_cache)
 
 
+def _cache_file(args) -> str | None:
+    """The on-disk artifact-cache path for --cache-dir (created on demand)."""
+    if not getattr(args, "cache_dir", None):
+        return None
+    from repro.serve.cache import cache_file_path
+
+    return cache_file_path(args.cache_dir)
+
+
+def _load_cache(broker, cache_file: str | None) -> None:
+    import os
+
+    if cache_file and broker.cache is not None and os.path.exists(cache_file):
+        loaded = broker.cache.load(cache_file)
+        print(f"cache:    loaded {loaded} entries from {cache_file}", file=sys.stderr)
+
+
+def _spill_cache(broker, cache_file: str | None) -> None:
+    if cache_file and broker.cache is not None:
+        broker.cache.spill(cache_file)
+
+
 def run_batch(args, world, registry, incidents) -> int:
     """--batch: fan the scenario matrix through the broker and aggregate."""
     from repro.serve import CampaignSpec, QueryBroker, run_campaign
 
     spec = CampaignSpec.for_world(world, limit=args.limit, cascades=args.cascades)
+    cache_file = _cache_file(args)
     with QueryBroker(world, registry=registry, incidents=incidents,
                      config=_serve_config(args)) as broker:
+        _load_cache(broker, cache_file)
         report = run_campaign(broker, spec)
         ledger_summary = broker.ledger.summary()
+        _spill_cache(broker, cache_file)
 
     if args.json:
         payload = report.to_dict()
@@ -122,8 +167,10 @@ def run_serve(args, world, registry, incidents, stream=None) -> int:
 
     failed = 0
     rows = []
+    cache_file = _cache_file(args)
     with QueryBroker(world, registry=registry, incidents=incidents,
                      config=_serve_config(args)) as broker:
+        _load_cache(broker, cache_file)
         tickets = [broker.submit(query) for query in queries]
         for query, ticket in zip(queries, tickets):
             job = broker.wait(ticket)
@@ -143,6 +190,7 @@ def run_serve(args, world, registry, incidents, stream=None) -> int:
                 else:
                     print(f"{job.ticket} FAILED {job.error[:80]} :: {query[:60]}")
         stats = broker.stats()
+        _spill_cache(broker, cache_file)
     cache = stats.get("cache")
     if args.json:
         print(json.dumps({"jobs": rows, "cache": cache,
@@ -151,6 +199,54 @@ def run_serve(args, world, registry, incidents, stream=None) -> int:
     elif cache:
         print(f"served {len(queries)} queries, cache hit rate {cache['hit_rate']:.0%}")
     return 0 if failed == 0 else 1
+
+
+def run_live(args, world, registry) -> int:
+    """--live: replay a scenario timeline with streams, detectors and
+    standing queries; ``--incident CABLE`` picks the cable the timeline cuts."""
+    from repro.live import (
+        LiveConfig,
+        default_cable_cut_timeline,
+        default_cut_epoch,
+        run_live_replay,
+    )
+
+    config = LiveConfig(
+        epochs=args.epochs,
+        pace_s=args.pace_ms / 1000.0,
+        workers=args.workers,
+        cache_enabled=not args.no_cache,
+        cache_dir=args.cache_dir,
+    )
+    timeline = default_cable_cut_timeline(
+        world,
+        cable_name=args.incident,
+        cut_epoch=default_cut_epoch(args.epochs),
+    )
+    report = run_live_replay(world=world, timeline_events=timeline,
+                             config=config, registry=registry)
+
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=1, default=str))
+    else:
+        print(f"live:      {report.epochs} epochs in {report.duration_s:.2f}s "
+              f"({report.epochs_per_sec:.1f} epochs/s)")
+        for event_id, row in report.detection.items():
+            lag = row["latency_epochs"]
+            print(f"incident:  {event_id} fired at epoch {row['incident_epoch']}; "
+                  + (f"first alert at epoch {row['first_alert_epoch']} "
+                     f"({row['first_alert_kind']}, +{lag} epochs)"
+                     if lag is not None else "NOT detected"))
+        for alert in report.alerts[:10]:
+            print(f"alert:     epoch {alert['epoch']:>3} {alert['kind']:<10} "
+                  f"{alert['series_key']}")
+        stats = report.standing_stats
+        print(f"standing:  {stats['evaluations']} evaluations, "
+              f"{stats['submitted']} computed, {stats['cache_hits']} cache hits "
+              f"({stats['hit_rate']:.0%} hit rate)")
+        if report.cache_file:
+            print(f"cache:     spilled to {report.cache_file}")
+    return 0 if report.detected_incidents == len(report.incident_epochs) else 1
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -172,13 +268,19 @@ def main(argv: list[str] | None = None) -> int:
     if args.incident:
         incidents.append(make_latency_incident(world, args.incident))
 
-    if args.batch or args.serve:
+    if args.batch or args.serve or args.live:
         if args.workers < 1:
             print("error: --workers must be >= 1", file=sys.stderr)
             return 2
         if args.limit is not None and args.limit < 0:
             print("error: --limit must be >= 0", file=sys.stderr)
             return 2
+        if args.live:
+            if args.epochs < 1 or args.pace_ms < 0:
+                print("error: --epochs must be >= 1 and --pace-ms >= 0",
+                      file=sys.stderr)
+                return 2
+            return run_live(args, world, registry)
         if args.batch:
             return run_batch(args, world, registry, incidents)
         return run_serve(args, world, registry, incidents)

@@ -1,0 +1,81 @@
+"""ArachNet Live: streaming measurement over an epoch-stepped world.
+
+The batch layers answer questions about a frozen world; this subsystem
+makes measurement *continuous*, the way cable cuts and routing cascades
+actually unfold.  A :class:`WorldTimeline` evolves the synthetic world
+through discrete epochs by firing and healing scenario-catalog disasters;
+:mod:`telemetry <repro.live.telemetry>` derives per-epoch traceroute RTT
+series and BGP update feeds and publishes them on an in-process
+:class:`EventBus`; :mod:`detectors <repro.live.detectors>` consume the
+streams with incremental changepoint/burst detection and emit alerts; and
+:class:`StandingQueryManager` re-evaluates registered queries on epoch
+boundaries through the serve broker, keyed by epoch fingerprint so
+unchanged epochs are cache hits, not recomputation.  The
+:func:`run_live_replay` driver runs a whole timeline end-to-end and scores
+alert-detection latency against the timeline's ground truth.
+"""
+
+from repro.live.bus import EventBus, Subscription
+from repro.live.clock import (
+    EpochState,
+    SimulationClock,
+    TimelineEvent,
+    WorldTimeline,
+    timeline_from_catalog,
+)
+from repro.live.detectors import (
+    Alert,
+    BGPBurstDetector,
+    DetectorBank,
+    RTTChangeDetector,
+)
+from repro.live.driver import (
+    FORENSIC_STANDING_QUERY,
+    LiveConfig,
+    LiveReport,
+    default_cable_cut_timeline,
+    default_cut_epoch,
+    run_live_replay,
+)
+from repro.live.standing import (
+    STANDING_STAGE,
+    StandingQuery,
+    StandingQueryManager,
+    StandingResult,
+)
+from repro.live.telemetry import (
+    ALERTS_TOPIC,
+    BGP_TOPIC,
+    TRACEROUTE_TOPIC,
+    BGPFeed,
+    TracerouteFeed,
+)
+
+__all__ = [
+    "ALERTS_TOPIC",
+    "Alert",
+    "BGPBurstDetector",
+    "BGPFeed",
+    "BGP_TOPIC",
+    "DetectorBank",
+    "EpochState",
+    "EventBus",
+    "FORENSIC_STANDING_QUERY",
+    "LiveConfig",
+    "LiveReport",
+    "RTTChangeDetector",
+    "STANDING_STAGE",
+    "SimulationClock",
+    "StandingQuery",
+    "StandingQueryManager",
+    "StandingResult",
+    "Subscription",
+    "TRACEROUTE_TOPIC",
+    "TimelineEvent",
+    "TracerouteFeed",
+    "WorldTimeline",
+    "default_cable_cut_timeline",
+    "default_cut_epoch",
+    "run_live_replay",
+    "timeline_from_catalog",
+]

@@ -1,0 +1,117 @@
+"""In-process event bus with bounded per-subscriber queues.
+
+Telemetry producers publish to named topics; each subscriber owns an
+independent bounded deque, so one slow consumer can never block a producer
+or another consumer — it just starts shedding its *own* oldest messages,
+and the shed count is visible in :meth:`EventBus.stats`.  This is the
+smallest honest model of the backpressure story a real streaming deployment
+(Kafka consumer groups, NATS) has to tell.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from collections import deque
+
+
+class Subscription:
+    """One subscriber's bounded view of a topic."""
+
+    def __init__(self, topic: str, name: str, maxlen: int):
+        if maxlen < 1:
+            raise ValueError("maxlen must be >= 1")
+        self.topic = topic
+        self.name = name
+        self.maxlen = maxlen
+        self._queue: deque = deque()
+        self._lock = threading.Lock()
+        self.received = 0
+        self.dropped = 0
+        self.closed = False
+
+    def _offer(self, item) -> None:
+        with self._lock:
+            if self.closed:
+                return
+            if len(self._queue) >= self.maxlen:
+                self._queue.popleft()
+                self.dropped += 1
+            self._queue.append(item)
+            self.received += 1
+
+    def pop(self):
+        """Oldest pending message, or ``None`` when empty."""
+        with self._lock:
+            return self._queue.popleft() if self._queue else None
+
+    def drain(self) -> list:
+        """All pending messages, oldest first."""
+        with self._lock:
+            items = list(self._queue)
+            self._queue.clear()
+        return items
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._queue)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "topic": self.topic,
+                "name": self.name,
+                "pending": len(self._queue),
+                "maxlen": self.maxlen,
+                "received": self.received,
+                "dropped": self.dropped,
+                "closed": self.closed,
+            }
+
+
+class EventBus:
+    """Topic-based fan-out to bounded subscriber queues (thread-safe)."""
+
+    def __init__(self):
+        self._subs: dict[str, list[Subscription]] = {}
+        self._lock = threading.Lock()
+        self._published: dict[str, int] = {}
+        self._names = itertools.count(1)
+
+    def subscribe(self, topic: str, name: str | None = None, maxlen: int = 256) -> Subscription:
+        if not topic:
+            raise ValueError("topic must be non-empty")
+        sub = Subscription(topic, name or f"sub-{next(self._names)}", maxlen)
+        with self._lock:
+            self._subs.setdefault(topic, []).append(sub)
+        return sub
+
+    def unsubscribe(self, sub: Subscription) -> None:
+        with self._lock:
+            subs = self._subs.get(sub.topic, [])
+            if sub in subs:
+                subs.remove(sub)
+        sub.closed = True
+
+    def publish(self, topic: str, item) -> int:
+        """Deliver to every subscriber of ``topic``; returns delivery count."""
+        with self._lock:
+            subs = list(self._subs.get(topic, []))
+            self._published[topic] = self._published.get(topic, 0) + 1
+        for sub in subs:
+            sub._offer(item)
+        return len(subs)
+
+    def topics(self) -> list[str]:
+        with self._lock:
+            return sorted(set(self._subs) | set(self._published))
+
+    def stats(self) -> dict:
+        with self._lock:
+            subs = [s for group in self._subs.values() for s in group]
+            published = dict(self._published)
+        return {
+            "published": published,
+            "subscribers": [s.stats() for s in subs],
+            "dropped_total": sum(s.dropped for s in subs),
+        }

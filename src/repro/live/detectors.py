@@ -1,0 +1,193 @@
+"""Online detectors: incremental changepoint/anomaly detection over streams.
+
+These are the streaming counterparts of the offline analysis the forensic
+case study runs after the fact.  :class:`RTTChangeDetector` keeps one
+:class:`~repro.analysis.changepoint.StreamingCUSUM` per latency series and
+alarms on the epoch where the level shifts; :class:`BGPBurstDetector`
+tracks the per-epoch update rate and alarms on re-convergence bursts.  A
+:class:`DetectorBank` wires both to bus subscriptions and republishes every
+alert on the ``alerts`` topic, so alert consumers are just more
+subscribers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.changepoint import StreamingCUSUM
+from repro.live.bus import EventBus, Subscription
+from repro.live.telemetry import ALERTS_TOPIC, BGP_TOPIC, TRACEROUTE_TOPIC
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One detector firing: what moved, when, and by how much."""
+
+    detector: str
+    kind: str  # rtt_shift | rtt_loss | bgp_burst
+    series_key: str
+    epoch: int
+    ts: float
+    magnitude: float
+    detail: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "detector": self.detector,
+            "kind": self.kind,
+            "series_key": self.series_key,
+            "epoch": self.epoch,
+            "ts": self.ts,
+            "magnitude": round(self.magnitude, 4),
+            "detail": dict(self.detail),
+        }
+
+
+class RTTChangeDetector:
+    """Streaming CUSUM over each latency series' per-epoch median RTT.
+
+    Also alarms when a series that had connectivity goes fully dark
+    (``rtt_loss``) — a cut that severs every policy path never shows up as
+    an RTT shift, only as loss.
+    """
+
+    name = "rtt-cusum"
+
+    def __init__(self, warmup: int = 4, threshold: float = 4.0, drift: float = 0.5):
+        self._warmup = warmup
+        self._threshold = threshold
+        self._drift = drift
+        self._per_series: dict[str, StreamingCUSUM] = {}
+        self._had_signal: set[str] = set()
+        self.samples = 0
+
+    def _detector_for(self, key: str) -> StreamingCUSUM:
+        if key not in self._per_series:
+            self._per_series[key] = StreamingCUSUM(
+                warmup=self._warmup, threshold=self._threshold, drift=self._drift
+            )
+        return self._per_series[key]
+
+    def observe(self, message: dict) -> list[Alert]:
+        """Consume one traceroute epoch message; returns alerts raised."""
+        alerts: list[Alert] = []
+        epoch = message["epoch"]
+        ts = message["window_end"]
+        for key, summary in message.get("series", {}).items():
+            detector = self._detector_for(key)
+            baseline = detector.baseline_mean
+            self.samples += 1
+            if detector.update(summary["median_rtt_ms"]):
+                alerts.append(Alert(
+                    detector=self.name,
+                    kind="rtt_shift",
+                    series_key=key,
+                    epoch=epoch,
+                    ts=ts,
+                    magnitude=summary["median_rtt_ms"] - baseline,
+                    detail={
+                        "median_rtt_ms": summary["median_rtt_ms"],
+                        "baseline_ms": round(baseline, 3),
+                    },
+                ))
+            self._had_signal.add(key)
+        for key in message.get("lost_series", []):
+            if key in self._had_signal:
+                # Alarm on the transition only; re-arm once signal returns.
+                self._had_signal.discard(key)
+                alerts.append(Alert(
+                    detector=self.name,
+                    kind="rtt_loss",
+                    series_key=key,
+                    epoch=epoch,
+                    ts=ts,
+                    magnitude=1.0,
+                    detail={"reason": "all samples lost"},
+                ))
+        return alerts
+
+
+class BGPBurstDetector:
+    """Alarms when an epoch's update count bursts above the churn baseline.
+
+    The baseline is the running mean of non-burst epochs; a burst is
+    ``burst_factor`` times that (with an absolute floor, so the quiet first
+    epochs of a replay cannot make 3 updates look like a storm).
+    """
+
+    name = "bgp-burst"
+
+    def __init__(self, warmup: int = 3, burst_factor: float = 4.0,
+                 min_updates: int = 50):
+        if warmup < 1:
+            raise ValueError("warmup must be >= 1")
+        self._warmup = warmup
+        self._burst_factor = burst_factor
+        self._min_updates = min_updates
+        self._quiet_epochs = 0
+        self._quiet_total = 0.0
+
+    def observe(self, message: dict) -> list[Alert]:
+        count = message["update_count"]
+        epoch = message["epoch"]
+        if self._quiet_epochs < self._warmup:
+            self._quiet_epochs += 1
+            self._quiet_total += count
+            return []
+        baseline = self._quiet_total / self._quiet_epochs
+        threshold = max(self._min_updates, self._burst_factor * max(baseline, 1.0))
+        if count >= threshold:
+            return [Alert(
+                detector=self.name,
+                kind="bgp_burst",
+                series_key=message.get("collector", "rrc-sim"),
+                epoch=epoch,
+                ts=message["window_end"],
+                magnitude=count / max(baseline, 1.0),
+                detail={
+                    "update_count": count,
+                    "withdrawals": message.get("withdrawals", 0),
+                    "baseline": round(baseline, 2),
+                },
+            )]
+        self._quiet_epochs += 1
+        self._quiet_total += count
+        return []
+
+
+class DetectorBank:
+    """Subscribes detectors to the bus and republishes their alerts."""
+
+    def __init__(
+        self,
+        bus: EventBus,
+        rtt: RTTChangeDetector | None = None,
+        bgp: BGPBurstDetector | None = None,
+        queue_maxlen: int = 256,
+    ):
+        self.bus = bus
+        self.rtt = rtt or RTTChangeDetector()
+        self.bgp = bgp or BGPBurstDetector()
+        self._rtt_sub: Subscription = bus.subscribe(
+            TRACEROUTE_TOPIC, name="detector-rtt", maxlen=queue_maxlen
+        )
+        self._bgp_sub: Subscription = bus.subscribe(
+            BGP_TOPIC, name="detector-bgp", maxlen=queue_maxlen
+        )
+        self.alerts: list[Alert] = []
+
+    def process_pending(self) -> list[Alert]:
+        """Drain both subscriptions, run the detectors, publish alerts."""
+        fresh: list[Alert] = []
+        for message in self._rtt_sub.drain():
+            fresh.extend(self.rtt.observe(message))
+        for message in self._bgp_sub.drain():
+            fresh.extend(self.bgp.observe(message))
+        for alert in fresh:
+            self.bus.publish(ALERTS_TOPIC, alert.to_dict())
+        self.alerts.extend(fresh)
+        return fresh
+
+    def first_alert_epoch(self, kind: str | None = None) -> int | None:
+        relevant = [a for a in self.alerts if kind is None or a.kind == kind]
+        return min((a.epoch for a in relevant), default=None)

@@ -1,0 +1,245 @@
+"""Standing queries: continuous measurement questions over an evolving world.
+
+A standing query is registered once and re-evaluated on epoch boundaries.
+Its semantics are deliberately *configuration-bound*: the answer is a pure
+function of (query text, params, the epoch's world configuration), where
+the configuration is summarized by the epoch fingerprint from
+:class:`~repro.live.clock.WorldTimeline`.  That purity is what makes the
+economics work — the manager keys finished answers in the broker's
+:class:`~repro.serve.cache.ArtifactCache` under the ``standing`` stage, so
+an epoch in which the world did not change (same fingerprint) is served
+from cache without touching the scheduler, and a replay of a whole timeline
+against a warm (or spilled-and-reloaded) cache resubmits nothing at all.
+Only epochs where the world actually changed reach the worker pool.
+
+Deregistration cancels any still-queued tickets through
+:meth:`QueryBroker.cancel` rather than letting orphaned jobs burn workers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.live.clock import EpochState
+from repro.serve.broker import DEFAULT_WORLD_KEY, JobState, QueryBroker
+from repro.synth.scenarios import make_latency_incident
+
+#: ArtifactCache stage name for standing-query results; its hit/miss
+#: counters surface in ``broker.stats()["cache"]["per_stage"]["standing"]``.
+STANDING_STAGE = "standing"
+
+
+@dataclass(frozen=True)
+class StandingQuery:
+    """One registered continuous query."""
+
+    name: str
+    query: str
+    params: tuple[tuple[str, object], ...] = ()
+    priority: int = 0
+    world_key: str = DEFAULT_WORLD_KEY
+    #: Evaluate every Nth epoch (1 = every epoch).
+    every_n_epochs: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("standing query needs a name")
+        if not self.query or not self.query.strip():
+            raise ValueError("standing query needs a query")
+        if self.every_n_epochs < 1:
+            raise ValueError("every_n_epochs must be >= 1")
+
+    def params_dict(self) -> dict:
+        return dict(self.params)
+
+    def due(self, epoch_index: int) -> bool:
+        return epoch_index % self.every_n_epochs == 0
+
+
+@dataclass
+class StandingResult:
+    """The outcome of one standing query at one epoch."""
+
+    name: str
+    epoch: int
+    fingerprint: str
+    from_cache: bool
+    state: str
+    final: dict | None = None
+    error: str = ""
+    ticket: str | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "epoch": self.epoch,
+            "fingerprint": self.fingerprint,
+            "from_cache": self.from_cache,
+            "state": self.state,
+            "final": self.final,
+            "error": self.error,
+            "ticket": self.ticket,
+        }
+
+
+@dataclass
+class _Pending:
+    sq: StandingQuery
+    epoch: EpochState
+    material: dict
+    ticket: str
+
+
+class StandingQueryManager:
+    """Re-evaluates registered queries on epoch boundaries via the broker."""
+
+    def __init__(self, broker: QueryBroker):
+        self.broker = broker
+        self._queries: dict[str, StandingQuery] = {}
+        self._pending: list[_Pending] = []
+        self.evaluations = 0
+        self.cache_hits = 0
+        self.submitted = 0
+        self.cancelled = 0
+
+    # -- registration -------------------------------------------------------
+
+    def register(self, sq: StandingQuery) -> StandingQuery:
+        if sq.name in self._queries:
+            raise ValueError(f"standing query {sq.name!r} already registered")
+        self._queries[sq.name] = sq
+        return sq
+
+    def deregister(self, name: str) -> int:
+        """Remove a query; cancels its still-queued tickets.  Returns how
+        many in-flight submissions were cancelled."""
+        self._queries.pop(name, None)
+        cancelled = 0
+        kept: list[_Pending] = []
+        for pending in self._pending:
+            if pending.sq.name != name:
+                kept.append(pending)
+                continue
+            if self.broker.cancel(pending.ticket):
+                cancelled += 1
+            # Running/finished tickets are left to settle; nobody collects
+            # them for a deregistered query, and the broker prunes them.
+        self._pending = kept
+        self.cancelled += cancelled
+        return cancelled
+
+    def names(self) -> list[str]:
+        return sorted(self._queries)
+
+    # -- epoch stepping -----------------------------------------------------
+
+    def _material(self, sq: StandingQuery, epoch: EpochState) -> dict:
+        return {
+            "query": sq.query,
+            "params": sq.params_dict(),
+            "world_key": sq.world_key,
+            "epoch_fingerprint": epoch.fingerprint,
+        }
+
+    def _epoch_shard_key(self, sq: StandingQuery, epoch: EpochState) -> str:
+        """A world shard materializing this epoch's configuration.
+
+        Built lazily per distinct fingerprint: the base world plus one
+        ambient :class:`LatencyIncident` per failed cable, so the executed
+        pipeline genuinely *observes* the evolved world — a forensic
+        standing query recovers the cut cable from its telemetry signature,
+        and the same query over a healed epoch finds nothing.  A cut/heal
+        timeline only ever has a handful of distinct configurations, so the
+        shard population stays small and each is reused across epochs.
+        """
+        if not epoch.failed_cable_ids:
+            return sq.world_key  # unchanged world: the base shard already is it
+        key = f"{sq.world_key}@{epoch.fingerprint}"
+        if key not in self.broker.world_keys():
+            base = self.broker.shard(sq.world_key).world
+            incidents = [
+                make_latency_incident(base, base.cables[cable_id].name)
+                for cable_id in epoch.failed_cable_ids
+                if cable_id in base.cables
+            ]
+            self.broker.add_world(key, base, incidents=incidents)
+        return key
+
+    def on_epoch(self, epoch: EpochState) -> list[StandingResult]:
+        """Evaluate every due query against this epoch's configuration.
+
+        Cache hits resolve immediately; misses are submitted to the broker
+        and returned by the matching :meth:`collect` call.
+        """
+        cache = self.broker.cache
+        served: list[StandingResult] = []
+        for sq in sorted(self._queries.values(), key=lambda q: q.name):
+            if not sq.due(epoch.index):
+                continue
+            self.evaluations += 1
+            material = self._material(sq, epoch)
+            if cache is not None:
+                payload = cache.fetch(STANDING_STAGE, material)
+                if payload is not None:
+                    self.cache_hits += 1
+                    served.append(StandingResult(
+                        name=sq.name,
+                        epoch=epoch.index,
+                        fingerprint=epoch.fingerprint,
+                        from_cache=True,
+                        state=payload["state"],
+                        final=payload.get("final"),
+                    ))
+                    continue
+            ticket = self.broker.submit(
+                sq.query,
+                params=sq.params_dict() or None,
+                priority=sq.priority,
+                world_key=self._epoch_shard_key(sq, epoch),
+            )
+            self.submitted += 1
+            self._pending.append(_Pending(sq, epoch, material, ticket))
+        return served
+
+    def collect(self, timeout: float | None = None) -> list[StandingResult]:
+        """Wait for every outstanding submission and cache finished answers.
+
+        Only successful results are cached — a transient failure should be
+        recomputed next epoch, not replayed from cache forever.
+        """
+        results: list[StandingResult] = []
+        pending, self._pending = self._pending, []
+        for item in pending:
+            job = self.broker.wait(item.ticket, timeout)
+            final = None
+            if job.state is JobState.DONE:
+                outputs = job.result.execution.outputs
+                final = outputs.get("final") if isinstance(outputs, dict) else None
+                if self.broker.cache is not None:
+                    self.broker.cache.store(
+                        STANDING_STAGE,
+                        item.material,
+                        {"state": job.state.value, "final": final},
+                    )
+            results.append(StandingResult(
+                name=item.sq.name,
+                epoch=item.epoch.index,
+                fingerprint=item.epoch.fingerprint,
+                from_cache=False,
+                state=job.state.value,
+                final=final,
+                error=job.error,
+                ticket=item.ticket,
+            ))
+        return results
+
+    def stats(self) -> dict:
+        return {
+            "registered": len(self._queries),
+            "evaluations": self.evaluations,
+            "cache_hits": self.cache_hits,
+            "submitted": self.submitted,
+            "cancelled": self.cancelled,
+            "outstanding": len(self._pending),
+            "hit_rate": self.cache_hits / self.evaluations if self.evaluations else 0.0,
+        }

@@ -1,0 +1,157 @@
+"""Telemetry streams derived from the evolving world, one message per epoch.
+
+Two producers mirror the two observables every case study leans on:
+
+* :class:`TracerouteFeed` — continuous RTT probing over a fixed fleet of
+  cross-region probe/target pairs.  Each epoch it resolves paths under the
+  epoch's failed-link set, so a cable cut shows up as the familiar step in
+  median RTT (or as loss where no policy path survives).
+* :class:`BGPFeed` — a collector update stream: background churn every
+  epoch plus a re-convergence burst on epochs where the failure set
+  changed, computed as the route-table delta between the old and new world
+  configurations (cuts and repairs both burst).
+
+Producers publish to an :class:`~repro.live.bus.EventBus`; consumers (the
+online detectors, or anything else) subscribe and read at their own pace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import median
+
+from repro.bgp.collector import BGPCollectorSim, CollectorConfig
+from repro.live.bus import EventBus
+from repro.live.clock import EpochState
+from repro.traceroute.api import probe_pairs
+from repro.traceroute.rtt import PathResolver
+from repro.synth.world import SyntheticWorld
+
+TRACEROUTE_TOPIC = "telemetry.traceroute"
+BGP_TOPIC = "telemetry.bgp"
+ALERTS_TOPIC = "alerts"
+
+
+@dataclass
+class TracerouteFeed:
+    """Per-epoch RTT samples for a fixed probe-pair fleet."""
+
+    world: SyntheticWorld
+    bus: EventBus
+    pair_count: int = 8
+    samples_per_pair: int = 4
+
+    def __post_init__(self) -> None:
+        if self.samples_per_pair < 1:
+            raise ValueError("samples_per_pair must be >= 1")
+        self.pairs = probe_pairs(self.world, self.pair_count)
+        self._resolver = PathResolver(self.world)
+        self.epochs_published = 0
+
+    @staticmethod
+    def series_key(pair: dict) -> str:
+        return f"{pair['src_country']}->{pair['dst_country']}"
+
+    def measure(self, epoch: EpochState) -> list[dict]:
+        """Raw per-sample rows for one epoch (``rtt_ms`` None = unreachable)."""
+        rows: list[dict] = []
+        span = epoch.window_end - epoch.window_start
+        for pair in self.pairs:
+            for i in range(self.samples_per_pair):
+                ts = epoch.window_start + span * (i + 0.5) / self.samples_per_pair
+                rtt, path = self._resolver.measured_rtt_ms(
+                    pair["src_asn"], pair["dst_asn"], ts, epoch.failed_link_ids
+                )
+                rows.append({
+                    "ts": ts,
+                    "epoch": epoch.index,
+                    "series_key": self.series_key(pair),
+                    "probe_id": pair["probe_id"],
+                    "src_country": pair["src_country"],
+                    "dst_country": pair["dst_country"],
+                    "rtt_ms": round(rtt, 3) if rtt is not None else None,
+                    "hop_count": path.hop_count if path is not None else 0,
+                })
+        return rows
+
+    def publish_epoch(self, epoch: EpochState) -> dict:
+        """Measure one epoch, publish the message, and return it."""
+        rows = self.measure(epoch)
+        by_series: dict[str, list[float]] = {}
+        losses: dict[str, int] = {}
+        for row in rows:
+            key = row["series_key"]
+            if row["rtt_ms"] is None:
+                losses[key] = losses.get(key, 0) + 1
+            else:
+                by_series.setdefault(key, []).append(row["rtt_ms"])
+        message = {
+            "kind": "traceroute",
+            "epoch": epoch.index,
+            "fingerprint": epoch.fingerprint,
+            "window_end": epoch.window_end,
+            "rows": rows,
+            "series": {
+                key: {
+                    "median_rtt_ms": round(median(values), 3),
+                    "sample_count": len(values),
+                    "loss_count": losses.get(key, 0),
+                }
+                for key, values in sorted(by_series.items())
+            },
+            "lost_series": sorted(k for k in losses if k not in by_series),
+        }
+        self.bus.publish(TRACEROUTE_TOPIC, message)
+        self.epochs_published += 1
+        return message
+
+
+@dataclass
+class BGPFeed:
+    """Per-epoch BGP update stream: churn plus change-driven bursts."""
+
+    world: SyntheticWorld
+    bus: EventBus
+    config: CollectorConfig = field(default_factory=CollectorConfig)
+
+    def __post_init__(self) -> None:
+        self._sim = BGPCollectorSim(self.world, self.config)
+        self._previous_failed: frozenset[str] = frozenset()
+        self._primed = False
+        self.epochs_published = 0
+
+    @property
+    def collector(self) -> BGPCollectorSim:
+        return self._sim
+
+    def updates_for(self, epoch: EpochState) -> list:
+        """The epoch's updates; advances the feed's failure-set memory."""
+        updates = list(self._sim.churn_updates(epoch.window_start, epoch.window_end))
+        if self._primed and epoch.failed_link_ids != self._previous_failed:
+            updates.extend(
+                self._sim.delta_updates(
+                    epoch.window_start,
+                    self._previous_failed,
+                    epoch.failed_link_ids,
+                    window_end=epoch.window_end,
+                )
+            )
+            updates.sort(key=lambda u: (u.ts, u.peer_asn, u.prefix, u.kind.value))
+        self._previous_failed = epoch.failed_link_ids
+        self._primed = True
+        return updates
+
+    def publish_epoch(self, epoch: EpochState) -> dict:
+        updates = self.updates_for(epoch)
+        message = {
+            "kind": "bgp",
+            "epoch": epoch.index,
+            "fingerprint": epoch.fingerprint,
+            "window_end": epoch.window_end,
+            "update_count": len(updates),
+            "withdrawals": sum(1 for u in updates if u.kind.value == "W"),
+            "updates": [u.to_dict() for u in updates],
+        }
+        self.bus.publish(BGP_TOPIC, message)
+        self.epochs_published += 1
+        return message

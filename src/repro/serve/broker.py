@@ -31,6 +31,7 @@ class JobState(str, Enum):
     RUNNING = "running"
     DONE = "done"
     FAILED = "failed"
+    CANCELLED = "cancelled"
 
 
 @dataclass
@@ -112,7 +113,7 @@ class QueryBroker:
         self._lock = threading.Lock()
         self._ticket_counter = 0
         self._pruned = 0
-        self._finished_total = {"done": 0, "failed": 0}
+        self._finished_total = {"done": 0, "failed": 0, "cancelled": 0}
         self._default_registry = registry
         if world is not None:
             self.add_world(DEFAULT_WORLD_KEY, world, incidents=incidents,
@@ -209,6 +210,27 @@ class QueryBroker:
             raise BrokerError("broker is shut down; no new submissions") from None
         return ticket
 
+    def cancel(self, ticket: str) -> bool:
+        """Cancel a still-queued job; ``True`` when this call cancelled it.
+
+        Only ``QUEUED`` jobs can be cancelled — a worker that already claimed
+        the job runs it to completion, and finished jobs keep their result —
+        so ``False`` is the explicit "too late, nothing changed" answer, not
+        an error.  A cancelled ticket stays known: ``status`` reports
+        ``CANCELLED``, ``wait`` returns immediately, ``result`` raises.
+        """
+        job = self.job(ticket)
+        with self._lock:
+            if job.state is not JobState.QUEUED:
+                return False
+            job.state = JobState.CANCELLED
+            job.error = "cancelled before execution"
+            self._finished_total["cancelled"] += 1
+        self.ledger.mark_finished(ticket, "cancelled", job.error)
+        job.done.set()
+        self._prune_finished()
+        return True
+
     def job(self, ticket: str) -> Job:
         with self._lock:
             try:
@@ -229,8 +251,8 @@ class QueryBroker:
     def result(self, ticket: str, timeout: float | None = None) -> PipelineResult:
         """The finished job's :class:`PipelineResult` (waits if needed)."""
         job = self.wait(ticket, timeout)
-        if job.state is JobState.FAILED:
-            raise BrokerError(f"{ticket} failed: {job.error}")
+        if job.state is not JobState.DONE:
+            raise BrokerError(f"{ticket} {job.state.value}: {job.error}")
         assert job.result is not None
         return job.result
 
@@ -262,9 +284,12 @@ class QueryBroker:
     # -- the worker-side job runner ---------------------------------------
 
     def _run_job(self, job: Job, worker_name: str) -> None:
+        with self._lock:
+            if job.state is not JobState.QUEUED:
+                return  # cancelled while queued; the canceller already settled it
+            job.state = JobState.RUNNING
         shard = self.shard(job.world_key)
         provenance = self.ledger.get(job.ticket)
-        job.state = JobState.RUNNING
         self.ledger.mark_started(job.ticket, worker_name)
         try:
             result = shard.system.answer(
@@ -304,7 +329,7 @@ class QueryBroker:
                 for ticket, job in self._jobs.items():
                     if len(victims) >= overshoot:
                         break
-                    if job.state in (JobState.DONE, JobState.FAILED):
+                    if job.state in (JobState.DONE, JobState.FAILED, JobState.CANCELLED):
                         victims.append(ticket)
                 for ticket in victims:
                     del self._jobs[ticket]

@@ -17,8 +17,19 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import threading
 from collections import OrderedDict
+
+
+#: File name used inside a ``--cache-dir`` directory by every serve/live mode.
+CACHE_FILE_NAME = "artifact_cache.json"
+
+
+def cache_file_path(cache_dir: str) -> str:
+    """The spill file for a cache directory (created on demand)."""
+    os.makedirs(cache_dir, exist_ok=True)
+    return os.path.join(cache_dir, CACHE_FILE_NAME)
 
 
 def content_key(stage: str, material: dict) -> str:
@@ -79,6 +90,52 @@ class ArtifactCache:
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+
+    # -- persistence -------------------------------------------------------
+
+    def spill(self, path: str) -> int:
+        """Write the store to ``path`` as canonical JSON; returns entry count.
+
+        The file preserves LRU order (least recently used first) so a later
+        :meth:`load` reconstructs the same eviction order.  The write is
+        atomic — a crashed spill can never leave a half-written cache file
+        for the next broker to trip over.
+        """
+        with self._lock:
+            snapshot = {key: json.loads(text) for key, text in self._entries.items()}
+        document = {"version": 1, "entries": snapshot}
+        tmp_path = f"{path}.tmp.{os.getpid()}"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, sort_keys=False, separators=(",", ":"))
+        os.replace(tmp_path, path)
+        return len(snapshot)
+
+    def load(self, path: str) -> int:
+        """Merge entries from a spilled file; returns how many were loaded.
+
+        Loaded entries slot in as *older* than anything already cached (they
+        re-enter in file order, then existing entries keep their recency), and
+        the LRU bound still applies — loading a file bigger than
+        ``max_entries`` keeps only the most recently used tail.
+        """
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+        version = document.get("version")
+        if version != 1:
+            raise ValueError(f"unsupported cache file version {version!r}")
+        entries = document["entries"]
+        with self._lock:
+            live = self._entries
+            self._entries = OrderedDict()
+            for key, payload in entries.items():
+                self._entries[key] = json.dumps(payload, sort_keys=True)
+            for key, text in live.items():
+                self._entries[key] = text
+                self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+        return len(entries)
 
     @property
     def hit_rate(self) -> float:

@@ -8,8 +8,10 @@ a module-scoped world.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import random
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 from repro.synth.ases import ASLayer, ASRelationship, AutonomousSystem, generate_as_layer
 from repro.synth.cables import (
@@ -103,6 +105,21 @@ class SyntheticWorld:
 
     def ases_in_country(self, code: str) -> list[AutonomousSystem]:
         return self.as_layer.by_country(code)
+
+    def fingerprint(self) -> str:
+        """Stable hex identity of this generated world.
+
+        Hashes the generation config plus the structural summary — enough to
+        distinguish any two worlds :func:`build_world` can produce, since
+        generation is a pure function of the config.  The live subsystem
+        folds this into per-epoch fingerprints so cached epoch results from
+        one world can never be served for another.
+        """
+        material = json.dumps(
+            {"config": asdict(self.config), "summary": self.summary()},
+            sort_keys=True,
+        )
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()[:16]
 
     def summary(self) -> dict[str, int]:
         """Size summary used by docs and sanity tests."""

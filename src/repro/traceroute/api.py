@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from repro.traceroute.anomaly import detect_series_anomalies
 from repro.traceroute.campaign import CampaignSpec, run_campaign_spec
+from repro.traceroute.probes import build_probe_fleet, probes_in_region, targets_in_region
 from repro.traceroute.series import LatencyBin, latency_series_from_rows
 from repro.synth.geography import Region
 from repro.synth.world import SyntheticWorld
@@ -65,6 +66,46 @@ def detect_latency_anomalies(
     }
     anomalies = detect_series_anomalies(series, min_increase_pct, alpha)
     return [a.to_dict() for a in anomalies]
+
+
+def probe_pairs(world: SyntheticWorld, count: int = 8) -> list[dict]:
+    """Deterministic cross-region (probe, target) pairs for continuous probing.
+
+    Rotates through every ordered region pair that has both probes and
+    targets, taking a fresh probe/target combination on each revisit, so a
+    small ``count`` still spans several distinct inter-region corridors.
+    Rows carry everything a measurement row needs: probe id, src/dst ASN and
+    country.
+    """
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    probes = build_probe_fleet(world)
+    by_region = {r: probes_in_region(world, probes, r) for r in Region}
+    targets = {r: targets_in_region(world, r, per_country=1) for r in Region}
+    corridors = [
+        (src, dst)
+        for src in Region
+        for dst in Region
+        if src is not dst and by_region[src] and targets[dst]
+    ]
+    pairs: list[dict] = []
+    revisit = 0
+    while corridors and len(pairs) < count:
+        for src, dst in corridors:
+            if len(pairs) >= count:
+                break
+            probe = by_region[src][revisit % len(by_region[src])]
+            dst_asn = targets[dst][revisit % len(targets[dst])]
+            pairs.append({
+                "probe_id": probe.id,
+                "src_asn": probe.asn,
+                "src_country": probe.country_code,
+                "dst_asn": dst_asn,
+                "dst_country": world.ases[dst_asn].country_code,
+                "corridor": f"{src.value}->{dst.value}",
+            })
+        revisit += 1
+    return pairs
 
 
 def paths_crossing_links(measurement_rows: list[dict], link_ids: list[str]) -> list[dict]:

@@ -176,3 +176,49 @@ def test_update_volume_series_api(world, incident):
     bins = update_volume_series(rows, 0.0, 7 * DAY)
     assert len(bins) == 168
     assert sum(b["count"] for b in bins) == len(rows)
+
+
+# -- epoch-delta updates (live feed support) ------------------------------------
+
+
+def test_routes_under_failure_differs_and_is_memoized(world):
+    sim = BGPCollectorSim(world)
+    cable = world.cable_named("AAE-1")
+    dead = frozenset(l.id for l in world.links_on_cable(cable.id))
+    baseline = sim.routes_under(frozenset())
+    degraded = sim.routes_under(dead)
+    assert baseline and degraded != baseline
+    assert sim.routes_under(dead) is degraded  # memoized per failure set
+    assert sim.baseline_routes() == baseline
+    assert sim.baseline_routes() is not baseline  # callers get a copy
+
+
+def test_delta_updates_symmetric_cut_and_heal(world):
+    sim = BGPCollectorSim(world)
+    cable = world.cable_named("AAE-1")
+    dead = frozenset(l.id for l in world.links_on_cable(cable.id))
+    cut = sim.delta_updates(1_000.0, frozenset(), dead)
+    heal = sim.delta_updates(9_000.0, dead, frozenset())
+    assert len(cut) > 100 and len(heal) > 100
+    assert any(u.kind is UpdateKind.WITHDRAW for u in cut)
+    # Healing re-announces: every update carries a route again.
+    announce_ratio = sum(1 for u in heal if u.kind is UpdateKind.ANNOUNCE) / len(heal)
+    assert announce_ratio > 0.9
+    assert sim.delta_updates(0.0, dead, dead) == []  # no change, no burst
+    # Deterministic for a given (ts, before, after).
+    assert cut == sim.delta_updates(1_000.0, frozenset(), dead)
+    # Timestamps respect the window horizon.
+    capped = sim.delta_updates(1_000.0, frozenset(), dead, window_end=1_050.0)
+    assert max(u.ts for u in capped) <= 1_050.0
+
+
+def test_churn_updates_windowed_and_seeded(world):
+    sim = BGPCollectorSim(world)
+    first = sim.churn_updates(0.0, 3600.0)
+    second = sim.churn_updates(3600.0, 7200.0)
+    assert first == sim.churn_updates(0.0, 3600.0)  # reproducible
+    assert first != second  # independent draws per window
+    assert all(0.0 <= u.ts <= 3600.0 for u in first)
+    assert all(3600.0 <= u.ts <= 7200.0 for u in second)
+    with pytest.raises(ValueError):
+        sim.churn_updates(10.0, 10.0)

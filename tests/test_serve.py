@@ -421,3 +421,179 @@ def test_campaign_for_world_limit_zero_means_no_cables(world):
     assert len(spec.expand()) == 2  # the two disaster kinds remain
     with pytest.raises(ValueError):
         CampaignSpec.for_world(world, limit=-1)
+
+
+# -- job cancellation -------------------------------------------------------
+
+
+def test_cancel_queued_job(world):
+    broker = QueryBroker(world, config=ServeConfig(workers=1))  # never started
+    ticket = broker.submit(CS1)
+    assert broker.cancel(ticket) is True
+    assert broker.status(ticket) is JobState.CANCELLED
+    assert broker.cancel(ticket) is False  # already settled: explicit no-op
+    # Cancelled jobs settle immediately: wait returns, result raises.
+    job = broker.wait(ticket, timeout=1)
+    assert job.error == "cancelled before execution"
+    with pytest.raises(BrokerError, match="cancelled"):
+        broker.result(ticket, timeout=1)
+    stats = broker.stats()
+    assert stats["finished_total"]["cancelled"] == 1
+    assert broker.ledger.get(ticket).status == "cancelled"
+    broker.shutdown()
+
+
+def test_cancel_finished_job_is_noop(broker):
+    ticket = broker.submit(CS1)
+    assert broker.result(ticket, timeout=60).execution.succeeded
+    assert broker.cancel(ticket) is False
+    assert broker.status(ticket) is JobState.DONE
+    assert broker.result(ticket, timeout=1) is not None  # result kept
+
+
+def test_cancelled_job_never_reaches_a_worker(world):
+    broker = QueryBroker(world, config=ServeConfig(workers=1))
+    keep = broker.submit(CS1)
+    doomed = broker.submit(CS1_FALCON)
+    assert broker.cancel(doomed)
+    broker.start()
+    assert broker.result(keep, timeout=60).execution.succeeded
+    broker.shutdown()  # drains the queue, including the cancelled pop
+    assert broker.status(doomed) is JobState.CANCELLED
+    # The worker skipped it: no start was ever recorded.
+    assert broker.ledger.get(doomed).started_at == 0.0
+    assert broker.ledger.get(doomed).worker == ""
+
+
+# -- cache persistence ------------------------------------------------------
+
+
+def test_cache_spill_load_roundtrip(tmp_path):
+    path = str(tmp_path / "cache.json")
+    cache = ArtifactCache()
+    cache.store("analysis", {"q": "cs1"}, {"intent": "impact", "n": [1, 2]})
+    cache.store("design", {"q": "cs1"}, {"steps": ["a", "b"]})
+    assert cache.spill(path) == 2
+
+    import json as _json
+    document = _json.load(open(path))
+    assert document["version"] == 1 and len(document["entries"]) == 2
+
+    fresh = ArtifactCache()
+    assert fresh.load(path) == 2
+    assert fresh.fetch("analysis", {"q": "cs1"}) == {"intent": "impact", "n": [1, 2]}
+    assert fresh.fetch("design", {"q": "cs1"}) == {"steps": ["a", "b"]}
+
+
+def test_cache_load_respects_lru_bound(tmp_path):
+    path = str(tmp_path / "cache.json")
+    big = ArtifactCache()
+    for i in range(5):
+        big.store("analysis", {"q": i}, {"value": i})
+    big.spill(path)
+
+    small = ArtifactCache(max_entries=3)
+    assert small.load(path) == 5
+    assert len(small) == 3
+    # The most recently stored entries survive the bound.
+    assert small.fetch("analysis", {"q": 4}) == {"value": 4}
+    assert small.fetch("analysis", {"q": 0}) is None
+
+
+def test_cache_load_merge_keeps_live_entries_fresher(tmp_path):
+    path = str(tmp_path / "cache.json")
+    spilled = ArtifactCache()
+    spilled.store("analysis", {"q": "old"}, {"value": "old"})
+    spilled.spill(path)
+
+    live = ArtifactCache(max_entries=2)
+    live.store("analysis", {"q": "live"}, {"value": "live"})
+    live.load(path)
+    # Adding one more entry evicts the loaded (older) one, not the live one.
+    live.store("analysis", {"q": "new"}, {"value": "new"})
+    assert live.fetch("analysis", {"q": "live"}) == {"value": "live"}
+    assert live.fetch("analysis", {"q": "old"}) is None
+
+
+def test_cache_load_rejects_unknown_version(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text('{"version": 99, "entries": {}}')
+    with pytest.raises(ValueError, match="version"):
+        ArtifactCache().load(str(path))
+
+
+def test_broker_cache_survives_restart_via_spill(world, tmp_path):
+    path = str(tmp_path / "cache.json")
+    with QueryBroker(world, config=ServeConfig(workers=2)) as broker:
+        assert broker.result(broker.submit(CS1), timeout=60).execution.succeeded
+        broker.cache.spill(path)
+
+    with QueryBroker(world, config=ServeConfig(workers=2)) as broker:
+        broker.cache.load(path)
+        broker.cache.reset_stats()
+        assert broker.result(broker.submit(CS1), timeout=60).execution.succeeded
+        stats = broker.cache.stats()
+    # All three deterministic agent stages were warm on the "restarted" broker.
+    assert stats["per_stage"]["analysis"]["hits"] == 1
+    assert stats["per_stage"]["design"]["hits"] == 1
+    assert stats["per_stage"]["solution"]["hits"] == 1
+
+
+# -- scheduler fairness under contention ------------------------------------
+
+
+def test_scheduler_priority_bands_fifo_across_shards_under_contention():
+    """Many jobs, two shards, same band: service stays strict arrival order
+    (neither shard can starve the other), and higher bands always preempt."""
+    scheduler = PriorityScheduler()
+    arrivals = []
+    for i in range(20):
+        shard = "w1" if i % 2 == 0 else "w2"
+        scheduler.push(f"job-{i}", priority=0, shard=shard)
+        arrivals.append(f"job-{i}")
+    scheduler.push("urgent", priority=9, shard="w2")
+    drained = [scheduler.pop(timeout=0.1) for _ in range(21)]
+    assert drained[0] == "urgent"
+    assert drained[1:] == arrivals  # round-robin by arrival across shards
+    assert scheduler.stats()["per_shard_queued"] == {}
+
+
+def test_broker_priority_bands_under_contention_single_worker(world):
+    """One worker, contended queue: band order first, then FIFO within band,
+    interleaving both world shards in arrival order."""
+    broker = QueryBroker(world, config=ServeConfig(workers=1))
+    broker.add_world("second", world)
+    low = [
+        broker.submit(CS1, world_key="default"),
+        broker.submit(CS1_FALCON, world_key="second"),
+        broker.submit(CS1_FALCON, world_key="default"),
+        broker.submit(CS1, world_key="second"),
+    ]
+    high = broker.submit(CS1, priority=5, world_key="second")
+    broker.start()
+    broker.wait_all(low + [high], timeout=120)
+    broker.shutdown()
+    started = {t: broker.ledger.get(t).started_at for t in low + [high]}
+    assert started[high] <= min(started[t] for t in low)
+    assert sorted(low, key=lambda t: started[t]) == low  # FIFO across shards
+
+
+def test_retention_pruning_spares_unfinished_tickets(world):
+    """Pruning may only evict finished jobs — queued tickets survive even
+    when the retention bound is exceeded, and finish normally later."""
+    broker = QueryBroker(world, config=ServeConfig(workers=1,
+                                                  max_retained_jobs=2))
+    tickets = [broker.submit(CS1) for _ in range(5)]
+    for doomed in tickets[:4]:
+        broker.cancel(doomed)
+    stats = broker.stats()
+    # Bound is 2 and only finished (cancelled) jobs were evictable: the one
+    # queued ticket plus the newest cancelled one remain.
+    assert stats["pruned"] == 3
+    assert stats["states"] == {"queued": 1, "cancelled": 1}
+    with pytest.raises(BrokerError):
+        broker.status(tickets[0])  # pruned
+    assert broker.status(tickets[4]) is JobState.QUEUED  # spared
+    broker.start()
+    assert broker.result(tickets[4], timeout=60).execution.succeeded
+    broker.shutdown()

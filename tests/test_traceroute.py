@@ -165,3 +165,20 @@ def test_paths_crossing_links_filter(world):
     crossing = paths_crossing_links(rows, link_ids)
     wanted = set(link_ids)
     assert all(wanted & set(row["link_ids"]) for row in crossing)
+
+
+def test_probe_pairs_deterministic_and_cross_region(world):
+    from repro.traceroute.api import probe_pairs
+
+    pairs = probe_pairs(world, 10)
+    assert pairs == probe_pairs(world, 10)
+    assert len(pairs) == 10
+    for pair in pairs:
+        src_region = world.country(pair["src_country"]).region
+        dst_region = world.country(pair["dst_country"]).region
+        assert src_region != dst_region
+        assert world.ases[pair["dst_asn"]].country_code == pair["dst_country"]
+    # Several distinct corridors, not one repeated.
+    assert len({p["corridor"] for p in pairs}) >= 4
+    with pytest.raises(ValueError):
+        probe_pairs(world, 0)

@@ -110,3 +110,11 @@ def test_corridor_cables_carry_multiple_links(world):
     for name in ("SeaMeWe-5", "AAE-1"):
         cable = world.cable_named(name)
         assert len(world.links_on_cable(cable.id)) >= 5, name
+
+
+def test_world_fingerprint_stable_and_config_sensitive(world):
+    assert world.fingerprint() == world.fingerprint()
+    assert build_world(WorldConfig()).fingerprint() == world.fingerprint()
+    other = build_world(WorldConfig(seed=11))
+    assert other.fingerprint() != world.fingerprint()
+    assert len(world.fingerprint()) == 16
