@@ -1,0 +1,110 @@
+"""Benchmark runner + regression gate for the serve/routing hot paths.
+
+Runs the serve-throughput and incremental-routing benchmarks (each writes
+its ``BENCH_*.json``), then gates the combined results against the
+committed floor in ``benchmarks/bench_baseline.json`` — warm-cache hit
+rate, worker/backends speedups and convergence speedups must not regress
+below it.  CI runs this as a smoke step; a failing gate fails the build.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_runner.py          # full
+    PYTHONPATH=src python benchmarks/bench_runner.py --smoke  # CI preset
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+import bench_incremental_routing
+import bench_serve_throughput
+
+BASELINE_PATH = os.path.join(os.path.dirname(__file__), "bench_baseline.json")
+SERVE_OUT = "BENCH_serve.json"
+ROUTING_OUT = "BENCH_routing.json"
+
+
+def _gate(checks: list[tuple[str, bool, str]]) -> bool:
+    ok = True
+    for name, passed, detail in checks:
+        print(f"  {'PASS' if passed else 'FAIL'}  {name}: {detail}")
+        ok = ok and passed
+    return ok
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI preset: smaller campaigns, fewer repeats")
+    parser.add_argument("--baseline", default=BASELINE_PATH,
+                        help="committed regression floor to gate against")
+    parser.add_argument("--no-gate", action="store_true",
+                        help="run the benchmarks but skip the regression gate")
+    args = parser.parse_args(argv)
+
+    serve_args = ["--no-assert", "--out", SERVE_OUT]
+    routing_args = ["--no-assert", "--out", ROUTING_OUT]
+    if args.smoke:
+        serve_args.append("--smoke")
+        routing_args.extend(["--repeats", "2"])
+
+    bench_serve_throughput.main(serve_args)
+    bench_incremental_routing.main(routing_args)
+
+    with open(SERVE_OUT, encoding="utf-8") as handle:
+        serve = json.load(handle)
+    with open(ROUTING_OUT, encoding="utf-8") as handle:
+        routing = json.load(handle)
+
+    if args.no_gate:
+        return 0
+
+    with open(args.baseline, encoding="utf-8") as handle:
+        base = json.load(handle)
+    sbase, rbase = base["serve"], base["routing"]
+    cores = serve.get("cores", bench_serve_throughput.available_cores())
+
+    print(f"\n=== regression gate vs {os.path.relpath(args.baseline)} ===")
+    checks = [
+        ("serve worker speedup",
+         serve["speedup"] >= sbase["min_worker_speedup"],
+         f"{serve['speedup']:.2f}x (floor {sbase['min_worker_speedup']}x)"),
+        ("serve warm hit rate",
+         serve["warm_hit_rate"] >= sbase["min_warm_hit_rate"],
+         f"{serve['warm_hit_rate']:.0%} (floor {sbase['min_warm_hit_rate']:.0%})"),
+        ("backend artifact identity",
+         bool(serve.get("artifacts_identical", False)),
+         str(serve.get("artifacts_identical"))),
+        ("routing timeline speedup",
+         routing["timeline_speedup"] >= rbase["min_timeline_speedup"],
+         f"{routing['timeline_speedup']:.1f}x (floor {rbase['min_timeline_speedup']}x)"),
+        ("routing cold speedup",
+         routing["cold_speedup"] >= rbase["min_cold_speedup"],
+         f"{routing['cold_speedup']:.2f}x (floor {rbase['min_cold_speedup']}x)"),
+        ("routing serve-burst speedup",
+         routing["serve_speedup"] >= rbase["min_serve_speedup"],
+         f"{routing['serve_speedup']:.2f}x (floor {rbase['min_serve_speedup']}x)"),
+    ]
+    if cores >= 2:
+        checks.append((
+            "process backend speedup",
+            serve.get("process_speedup", 0.0) >= sbase["min_process_speedup"],
+            f"{serve.get('process_speedup', 0.0):.2f}x "
+            f"(floor {sbase['min_process_speedup']}x on {cores} cores)",
+        ))
+    else:
+        print(f"  SKIP  process backend speedup: {cores} core available "
+              "(no hardware parallelism to measure)")
+
+    if not _gate(checks):
+        print("regression gate FAILED", file=sys.stderr)
+        return 1
+    print("regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,7 +9,7 @@ latency anomalies.
 
 from repro.bgp.messages import BGPUpdate, RouteRecord, UpdateKind
 from repro.bgp.rib import RoutingTable
-from repro.bgp.collector import BGPCollectorSim, CollectorConfig
+from repro.bgp.collector import BGPCollectorSim, CollectorConfig, shared_collector
 from repro.bgp.anomaly import RoutingAnomaly, detect_update_anomalies, update_rate_series
 from repro.bgp.api import (
     correlate_updates_with_window,
@@ -31,5 +31,6 @@ __all__ = [
     "correlate_updates_with_window",
     "detect_routing_anomalies",
     "fetch_updates",
+    "shared_collector",
     "summarize_path_changes",
 ]

@@ -10,7 +10,7 @@ consequences in the update stream.
 from __future__ import annotations
 
 from repro.bgp.anomaly import detect_update_anomalies, update_rate_series
-from repro.bgp.collector import BGPCollectorSim, CollectorConfig
+from repro.bgp.collector import CollectorConfig, shared_collector
 from repro.bgp.messages import BGPUpdate, UpdateKind, path_edit_distance
 from repro.synth.world import SyntheticWorld
 
@@ -22,8 +22,13 @@ def fetch_updates(
     incidents: list | None = None,
     collector_seed: int = 11,
 ) -> list[dict]:
-    """BGP updates recorded over a window, as JSON-able rows sorted by time."""
-    sim = BGPCollectorSim(world, CollectorConfig(seed=collector_seed))
+    """BGP updates recorded over a window, as JSON-able rows sorted by time.
+
+    The collector is shared per (world, seed): repeated queries reuse its
+    memoized incremental route tables, so only the first question about an
+    incident pays for re-convergence.
+    """
+    sim = shared_collector(world, CollectorConfig(seed=collector_seed))
     updates = sim.generate_updates(window_start, window_end, incidents or [])
     return [u.to_dict() for u in updates]
 

@@ -13,11 +13,13 @@ signature the forensic workflow hunts for.
 from __future__ import annotations
 
 import random
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from repro.bgp.messages import BGPUpdate, UpdateKind
-from repro.topology.relations import ASGraph, failed_as_pairs
-from repro.topology.routing import ValleyFreeRouter
+from repro.topology.relations import AdjacencyIndex, ASGraph, failed_as_pairs
+from repro.topology.routing import ValleyFreeRouter, path_adjacencies, path_crosses
 from repro.synth.scenarios import LatencyIncident
 from repro.synth.world import SyntheticWorld
 
@@ -32,6 +34,9 @@ class CollectorConfig:
     convergence_window_s: float = 300.0
     exploration_prob: float = 0.3
     seed: int = 11
+    #: LRU bound on memoized route tables; long live timelines revisit a few
+    #: failure states, so a small bound keeps memory flat without thrashing.
+    route_cache_entries: int = 64
 
 
 @dataclass(frozen=True)
@@ -60,9 +65,30 @@ class BGPCollectorSim:
     def __post_init__(self) -> None:
         self._graph = ASGraph.from_world(self.world)
         self._peers = self._select_peers()
-        # (frozen failed-link set) -> route table; the live feed diffs epoch
+        # (frozen failed-link set) -> cache entry; the live feed diffs epoch
         # route tables and a replay revisits the same few failure states.
-        self._route_cache: dict[frozenset[str], dict[tuple[int, str], tuple[int, ...]]] = {}
+        # LRU-bounded (baseline pinned) so long timelines keep memory flat.
+        # Each entry carries the flat route table plus the per-peer slices
+        # and per-peer traversed-adjacency sets that later failure states
+        # diff against (see _compute_routes).
+        self._route_cache: OrderedDict[frozenset[str], dict] = OrderedDict()
+        # Serve workers share one collector per world (see shared_collector);
+        # RLock because computing one entry consults others (the ancestor).
+        self._cache_lock = threading.RLock()
+        # Prebuilt link→pair indexes: severed adjacencies per failure set in
+        # O(|failed links|), sharing the one redundancy-rule definition with
+        # failed_as_pairs (which routes_under_full still calls).
+        self._adjacency_index = AdjacencyIndex(self.world)
+        self._stats = {
+            "hits": 0,
+            "misses": 0,
+            "evictions": 0,
+            "full_recomputes": 0,
+            "incremental_recomputes": 0,
+            "shared_full_tables": 0,
+            "peers_recomputed": 0,
+            "peers_shared": 0,
+        }
 
     def _select_peers(self) -> list[int]:
         """Deterministic vantage points: tier-1s first, then tier-2s."""
@@ -83,23 +109,161 @@ class BGPCollectorSim:
     ) -> dict[tuple[int, str], tuple[int, ...]]:
         """(peer, prefix) → AS path with the given links out of service.
 
-        Memoized per failure set; callers must not mutate the returned dict.
+        Memoized per failure set (LRU-bounded, baseline pinned) and computed
+        *incrementally*: only peers whose baseline routes crossed a severed
+        adjacency re-run SPF; everyone else shares the baseline table
+        structurally.  Callers must not mutate the returned dict.
         """
-        if failed_link_ids not in self._route_cache:
-            graph = self._graph
-            if failed_link_ids:
-                dead = failed_as_pairs(self.world, sorted(failed_link_ids))
-                graph = graph.without_pairs(dead)
-            router = ValleyFreeRouter(graph)
-            routes: dict[tuple[int, str], tuple[int, ...]] = {}
-            for peer in self._peers:
-                paths = router.paths_from(peer)
-                for prefix in self.world.all_prefixes():
-                    path = paths.get(prefix.asn)
-                    if path is not None:
-                        routes[(peer, prefix.cidr)] = path
-            self._route_cache[failed_link_ids] = routes
-        return self._route_cache[failed_link_ids]
+        return self._entry_for(frozenset(failed_link_ids))["routes"]
+
+    def _entry_for(self, key: frozenset[str]) -> dict:
+        with self._cache_lock:
+            cached = self._route_cache.get(key)
+            if cached is not None:
+                self._stats["hits"] += 1
+                self._route_cache.move_to_end(key)
+                return cached
+            self._stats["misses"] += 1
+            entry = self._compute_routes(key)
+            self._route_cache[key] = entry
+            self._evict_route_cache()
+            return entry
+
+    def routes_under_full(
+        self, failed_link_ids: frozenset[str] = frozenset()
+    ) -> dict[tuple[int, str], tuple[int, ...]]:
+        """The same table computed from scratch — full SPF for every peer,
+        no cache, no structural sharing.  This is the reference the
+        incremental path is tested and benchmarked against."""
+        graph = self._graph
+        if failed_link_ids:
+            dead = failed_as_pairs(self.world, sorted(failed_link_ids))
+            graph = graph.without_pairs(dead)
+        router = ValleyFreeRouter(graph)
+        prefixes = self.world.all_prefixes()
+        routes: dict[tuple[int, str], tuple[int, ...]] = {}
+        for peer in self._peers:
+            routes.update(self._peer_slice(router, peer, prefixes))
+        return routes
+
+    def cache_info(self) -> dict:
+        """Route-cache economics: hit/miss counters, eviction count and how
+        much convergence work the incremental path avoided."""
+        return {
+            "entries": len(self._route_cache),
+            "max_entries": self.config.route_cache_entries,
+            **self._stats,
+        }
+
+    # -- incremental convergence ---------------------------------------------
+
+    def _peer_slice(
+        self, router: ValleyFreeRouter, peer: int, prefixes: list
+    ) -> dict[tuple[int, str], tuple[int, ...]]:
+        """One peer's (peer, prefix) → path rows under the router's graph."""
+        paths = router.paths_from(peer)
+        slice_: dict[tuple[int, str], tuple[int, ...]] = {}
+        for prefix in prefixes:
+            path = paths.get(prefix.asn)
+            if path is not None:
+                slice_[(peer, prefix.cidr)] = path
+        return slice_
+
+    def _dead_pairs(self, failed_link_ids: frozenset[str]) -> set[tuple[int, int]]:
+        return self._adjacency_index.dead_pairs(failed_link_ids)
+
+    @staticmethod
+    def _slice_pairs(slice_: dict) -> frozenset[tuple[int, int]]:
+        """Every AS adjacency one peer's route slice traverses."""
+        if not slice_:
+            return frozenset()
+        return frozenset().union(*(path_adjacencies(p) for p in slice_.values()))
+
+    def _build_entry(
+        self,
+        dead: frozenset[tuple[int, int]],
+        slices: dict[int, dict],
+        pairs: dict[int, frozenset],
+    ) -> dict:
+        """``pairs`` may be partial — :meth:`_entry_pairs` fills it lazily,
+        so entries that never become diff ancestors skip the pair scan."""
+        routes: dict[tuple[int, str], tuple[int, ...]] = {}
+        for peer in self._peers:
+            routes.update(slices[peer])
+        return {"routes": routes, "slices": slices, "pairs": pairs, "dead": dead}
+
+    def _entry_pairs(self, entry: dict) -> dict[int, frozenset]:
+        pairs = entry["pairs"]
+        for peer in self._peers:
+            if peer not in pairs:
+                pairs[peer] = self._slice_pairs(entry["slices"][peer])
+        return pairs
+
+    def _best_ancestor(self, key: frozenset[str]) -> dict:
+        """The cached entry of the largest failure set contained in ``key``.
+
+        Timeline states mostly grow by one event (and heal back to states
+        already seen), so diffing against the nearest ancestor — rather than
+        always the baseline — shrinks the affected frontier to the peers the
+        *new* severed adjacencies touch.  The baseline is pinned in the
+        cache, so there is always at least one ancestor.
+        """
+        best_key = frozenset()
+        for cached_key in self._route_cache:
+            if cached_key != key and len(cached_key) > len(best_key) and cached_key < key:
+                best_key = cached_key
+        self._route_cache.move_to_end(best_key)  # keep shared ancestors warm
+        return self._route_cache[best_key]
+
+    def _compute_routes(self, key: frozenset[str]) -> dict:
+        prefixes = self.world.all_prefixes()  # hoisted: one call per table
+        if not key:
+            router = ValleyFreeRouter(self._graph)
+            slices = {
+                peer: self._peer_slice(router, peer, prefixes) for peer in self._peers
+            }
+            self._stats["full_recomputes"] += 1
+            return self._build_entry(frozenset(), slices, {})
+
+        if frozenset() not in self._route_cache:
+            self._entry_for(frozenset())  # pin the baseline first
+        dead = frozenset(self._dead_pairs(key))
+        ancestor = self._best_ancestor(key)
+        delta = dead - ancestor["dead"]
+        if not delta:
+            # Redundant parallel links absorbed every new failure: no further
+            # adjacency died, so the table is the ancestor's — share it
+            # wholesale (structurally, the whole entry).
+            self._stats["shared_full_tables"] += 1
+            return ancestor
+
+        # The frontier: peers whose ancestor routes traverse a newly severed
+        # adjacency.  Everyone else's table cannot change (edge removal never
+        # creates paths and tie-breaks are deterministic), so it is shared.
+        ancestor_pairs = self._entry_pairs(ancestor)
+        router = ValleyFreeRouter(self._graph, dead_pairs=dead)
+        slices = {}
+        pairs = {}
+        for peer in self._peers:
+            if ancestor_pairs[peer] & delta:
+                slices[peer] = self._peer_slice(router, peer, prefixes)
+                self._stats["peers_recomputed"] += 1
+            else:
+                slices[peer] = ancestor["slices"][peer]
+                pairs[peer] = ancestor_pairs[peer]
+                self._stats["peers_shared"] += 1
+        self._stats["incremental_recomputes"] += 1
+        return self._build_entry(dead, slices, pairs)
+
+    def _evict_route_cache(self) -> None:
+        while len(self._route_cache) > self.config.route_cache_entries:
+            for key in self._route_cache:
+                if key:  # the baseline (empty set) is pinned: incremental
+                    del self._route_cache[key]  # tables diff against it
+                    self._stats["evictions"] += 1
+                    break
+            else:
+                break  # only the baseline remains; nothing evictable
 
     def delta_updates(
         self,
@@ -198,7 +362,7 @@ class BGPCollectorSim:
         """Low-rate flaps of random prefixes, uniform over the window."""
         duration_h = (end - start) / 3600.0
         count = max(0, int(round(self.config.churn_per_hour * duration_h)))
-        baseline = self.baseline_routes()
+        baseline = self.routes_under(frozenset())  # shared table, read-only
         keys = sorted(baseline.keys())
         updates: list[BGPUpdate] = []
         if not keys:
@@ -235,24 +399,24 @@ class BGPCollectorSim:
         failed_links: set[str],
         window_end: float,
     ) -> list[BGPUpdate]:
-        """Re-convergence burst after the given link set dies."""
-        dead_pairs = failed_as_pairs(self.world, sorted(failed_links))
+        """Re-convergence burst after the given link set dies.
+
+        Rides the incremental route machinery: the post-failure table comes
+        from :meth:`routes_under` (affected-frontier recompute, memoized),
+        not a from-scratch SPF sweep per burst — which is what keeps
+        repeated forensic queries over the same incident cheap.
+        """
+        dead_pairs = self._dead_pairs(frozenset(failed_links))
         if not dead_pairs:
             return []
-        pruned = self._graph.without_pairs(dead_pairs)
-        router_after = ValleyFreeRouter(pruned)
-        baseline = self.baseline_routes()
+        after = self.routes_under(frozenset(failed_links))
+        baseline = self.routes_under(frozenset())
 
         updates: list[BGPUpdate] = []
         for (peer, prefix), old_path in sorted(baseline.items()):
-            crossed = any(
-                (min(a, b), max(a, b)) in dead_pairs for a, b in zip(old_path, old_path[1:])
-            )
-            if not crossed:
+            if not path_crosses(old_path, dead_pairs):
                 continue
-            origin = old_path[-1]
-            new_paths = router_after.paths_from(peer)
-            new_path = new_paths.get(origin)
+            new_path = after.get((peer, prefix))
             ts = min(window_end, onset + rng.uniform(1.0, self.config.convergence_window_s))
             if new_path is None:
                 updates.append(
@@ -277,3 +441,30 @@ class BGPCollectorSim:
                 BGPUpdate(ts, self.config.name, peer, UpdateKind.ANNOUNCE, prefix, new_path)
             )
         return updates
+
+
+def shared_collector(
+    world: SyntheticWorld, config: CollectorConfig | None = None
+) -> BGPCollectorSim:
+    """One collector per (world, config), memoized on the world object.
+
+    The registry-facing BGP functions run once per served query; sharing the
+    collector means its graph, vantage points and — critically — the
+    incremental route cache survive across queries, so repeated forensic
+    questions about the same incident skip re-convergence entirely.  Safe
+    across worker threads: the route cache is lock-guarded, and everything
+    else is immutable after construction.
+    """
+    cfg = config or CollectorConfig()
+    with _SHARED_COLLECTOR_LOCK:
+        cache = getattr(world, "_collector_cache", None)
+        if cache is None:
+            cache = {}
+            world._collector_cache = cache
+        sim = cache.get(cfg)
+        if sim is None:
+            sim = cache[cfg] = BGPCollectorSim(world, cfg)
+    return sim
+
+
+_SHARED_COLLECTOR_LOCK = threading.Lock()

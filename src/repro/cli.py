@@ -65,6 +65,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run a batch campaign over the scenario matrix")
     serve.add_argument("--workers", type=int, default=4, metavar="N",
                        help="worker threads for --serve/--batch (default 4)")
+    serve.add_argument("--backend", choices=("thread", "process"), default="thread",
+                       help="execution backend: 'thread' overlaps LLM latency "
+                            "in-process, 'process' runs CPU-bound pipelines on "
+                            "a preforked process pool (default thread)")
     serve.add_argument("--no-cache", action="store_true",
                        help="disable the artifact cache in serve modes")
     serve.add_argument("--limit", type=int, metavar="N",
@@ -90,16 +94,36 @@ def build_parser() -> argparse.ArgumentParser:
 def _serve_config(args) -> "ServeConfig":
     from repro.serve import ServeConfig
 
-    return ServeConfig(workers=args.workers, cache_enabled=not args.no_cache)
+    return ServeConfig(workers=args.workers, backend=args.backend,
+                       cache_enabled=not args.no_cache)
+
+
+def _effective_cache_dir(args) -> str | None:
+    """``--cache-dir``, or ``None`` (with a warning) when it cannot apply.
+
+    Only the thread backend runs jobs against the broker-wide artifact
+    cache; worker processes keep their own per-process caches, so spilling
+    the broker cache under --backend process would persist nothing.
+    """
+    cache_dir = getattr(args, "cache_dir", None)
+    if not cache_dir:
+        return None
+    if args.backend == "process":
+        print("warning: --cache-dir persists the broker artifact cache, which "
+              "only the thread backend uses; ignoring it for --backend process",
+              file=sys.stderr)
+        return None
+    return cache_dir
 
 
 def _cache_file(args) -> str | None:
     """The on-disk artifact-cache path for --cache-dir (created on demand)."""
-    if not getattr(args, "cache_dir", None):
+    cache_dir = _effective_cache_dir(args)
+    if not cache_dir:
         return None
     from repro.serve.cache import cache_file_path
 
-    return cache_file_path(args.cache_dir)
+    return cache_file_path(cache_dir)
 
 
 def _load_cache(broker, cache_file: str | None) -> None:
@@ -215,8 +239,9 @@ def run_live(args, world, registry) -> int:
         epochs=args.epochs,
         pace_s=args.pace_ms / 1000.0,
         workers=args.workers,
+        backend=args.backend,
         cache_enabled=not args.no_cache,
-        cache_dir=args.cache_dir,
+        cache_dir=_effective_cache_dir(args),
     )
     timeline = default_cable_cut_timeline(
         world,
@@ -244,6 +269,12 @@ def run_live(args, world, registry) -> int:
         print(f"standing:  {stats['evaluations']} evaluations, "
               f"{stats['submitted']} computed, {stats['cache_hits']} cache hits "
               f"({stats['hit_rate']:.0%} hit rate)")
+        rstats = report.routing_stats
+        if rstats:
+            print(f"routing:   {rstats['hits']} route-table hits / "
+                  f"{rstats['misses']} misses; incremental re-convergence "
+                  f"shared {rstats['peers_shared']} peer tables, "
+                  f"recomputed {rstats['peers_recomputed']}")
         if report.cache_file:
             print(f"cache:     spilled to {report.cache_file}")
     return 0 if report.detected_incidents == len(report.incident_epochs) else 1

@@ -9,6 +9,8 @@ reviews and may edit between stages.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from enum import Enum
 
@@ -437,3 +439,13 @@ class PipelineResult:
             "curator": self.curator.to_dict() if self.curator else None,
             "stage_trace": [s.to_dict() for s in self.stage_trace],
         }
+
+    def artifact_digest(self) -> str:
+        """Content hash over the artifacts alone — every deterministic output,
+        excluding the stage trace (whose durations and cache-hit flags vary
+        by run and by execution backend).  Two runs of the same job through
+        any backend must produce the same digest."""
+        material = self.to_dict()
+        material.pop("stage_trace")
+        canonical = json.dumps(material, sort_keys=True, separators=(",", ":"), default=str)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

@@ -43,6 +43,7 @@ class LiveConfig:
     epoch_seconds: float = 3600.0
     pace_s: float = 0.0  # real seconds per epoch; 0 = as fast as possible
     workers: int = 2
+    backend: str = "thread"  # standing-query execution backend (see serve.backends)
     cache_enabled: bool = True
     cache_dir: str | None = None
     pair_count: int = 8
@@ -68,6 +69,9 @@ class LiveReport:
     standing_stats: dict
     broker_stats: dict
     bus_stats: dict
+    #: BGP collector route-cache economics: how much re-convergence work the
+    #: incremental tables avoided across the replay (see BGPCollectorSim).
+    routing_stats: dict = field(default_factory=dict)
     cache_file: str | None = None
     epoch_log: list[dict] = field(default_factory=list)
 
@@ -105,6 +109,7 @@ class LiveReport:
             "standing_stats": self.standing_stats,
             "broker_stats": self.broker_stats,
             "bus_stats": self.bus_stats,
+            "routing_stats": self.routing_stats,
             "cache_file": self.cache_file,
             "epoch_log": self.epoch_log,
         }
@@ -184,7 +189,8 @@ def run_live_replay(
         broker = QueryBroker(
             world,
             registry=registry,
-            config=ServeConfig(workers=cfg.workers, cache_enabled=cfg.cache_enabled),
+            config=ServeConfig(workers=cfg.workers, backend=cfg.backend,
+                               cache_enabled=cfg.cache_enabled),
         ).start()
     cache_file = None
     if cfg.cache_dir and broker.cache is not None:
@@ -242,6 +248,7 @@ def run_live_replay(
             standing_stats=manager.stats(),
             broker_stats=broker.stats(),
             bus_stats=bus.stats(),
+            routing_stats=bgp_feed.collector.cache_info(),
             cache_file=cache_file,
             epoch_log=epoch_log,
         )

@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from statistics import median
 
-from repro.bgp.collector import BGPCollectorSim, CollectorConfig
+from repro.bgp.collector import BGPCollectorSim, CollectorConfig, shared_collector
 from repro.live.bus import EventBus
 from repro.live.clock import EpochState
 from repro.traceroute.api import probe_pairs
@@ -115,7 +115,10 @@ class BGPFeed:
     config: CollectorConfig = field(default_factory=CollectorConfig)
 
     def __post_init__(self) -> None:
-        self._sim = BGPCollectorSim(self.world, self.config)
+        # Shared per (world, config): standing forensic queries served during
+        # the replay hit the same collector through fetch_updates, so the
+        # feed and the serve path converge route tables once, not twice.
+        self._sim = shared_collector(self.world, self.config)
         self._previous_failed: frozenset[str] = frozenset()
         self._primed = False
         self.epochs_published = 0

@@ -3,13 +3,24 @@
 Turns the one-shot ``ArachNet.answer()`` pipeline into a service: a
 :class:`QueryBroker` accepts submissions and hands out tickets, a
 :class:`PriorityScheduler` orders them (priority + FIFO, sharded per
-world), a :class:`WorkerPool` of threads drains the queue, a shared
-:class:`ArtifactCache` memoizes the deterministic agent stages, and a
-:class:`ProvenanceLedger` records what every job cost and where each
-artifact came from.  :mod:`repro.serve.campaign` fans scenario matrices
-into batch submissions over the same machinery.
+world), a :class:`WorkerPool` of threads drains the queue into a pluggable
+:class:`ExecutionBackend` (in-thread, or a preforked process pool for
+CPU-bound pipelines), a shared :class:`ArtifactCache` memoizes the
+deterministic agent stages, and a :class:`ProvenanceLedger` records what
+every job cost and where each artifact came from.
+:mod:`repro.serve.campaign` fans scenario matrices into batch submissions
+over the same machinery.
 """
 
+from repro.serve.backends import (
+    BACKEND_NAMES,
+    BackendError,
+    ExecutionBackend,
+    JobPayload,
+    ProcessPoolBackend,
+    ThreadPoolBackend,
+    build_backend,
+)
 from repro.serve.broker import (
     DEFAULT_WORLD_KEY,
     BrokerError,
@@ -32,7 +43,14 @@ from repro.serve.workers import WorkerPool
 
 __all__ = [
     "ArtifactCache",
+    "BACKEND_NAMES",
+    "BackendError",
     "BrokerError",
+    "ExecutionBackend",
+    "JobPayload",
+    "ProcessPoolBackend",
+    "ThreadPoolBackend",
+    "build_backend",
     "CampaignJob",
     "CampaignReport",
     "CampaignSpec",

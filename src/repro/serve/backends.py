@@ -1,0 +1,327 @@
+"""Pluggable execution backends: where a served job's pipeline actually runs.
+
+The broker's worker threads drain the scheduler either way; the backend
+decides what happens to a claimed job:
+
+* :class:`ThreadPoolBackend` — run the pipeline in the claiming thread
+  against the shard's shared in-process system.  Right when hosted-LLM
+  round-trip latency dominates: threads overlap the waits, artifacts stay
+  in shared memory, and the broker-wide :class:`ArtifactCache` is shared.
+* :class:`ProcessPoolBackend` — ship a picklable :class:`JobPayload`
+  (query + :class:`WorldConfig` + registry fingerprint) to a preforked
+  worker process.  Right when generated-code execution is CPU-bound: each
+  process escapes the GIL, holds a process-local world/system cache keyed
+  by configuration (worlds are pure functions of their config, so they are
+  rebuilt once per process, never per job) and a process-local artifact
+  cache, and returns the finished :class:`PipelineResult` plus its cache
+  economics for the broker to aggregate.
+
+Both backends produce byte-identical artifacts for the same job: the
+pipeline is deterministic in (query, params, world config, registry), which
+the payload carries in full — fingerprints are verified worker-side so a
+hand-mutated world or unrebuildable registry fails loudly instead of
+silently serving answers about a different Internet.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import multiprocessing
+import os
+import pickle
+import threading
+from dataclasses import dataclass
+
+from repro.core.artifacts import PipelineResult
+from repro.core.pipeline import ArachNet
+from repro.core.registry import default_registry
+from repro.serve.cache import ArtifactCache
+from repro.serve.scheduler import WorldShard
+from repro.synth.scenarios import LatencyIncident
+from repro.synth.world import WorldConfig, build_world
+
+BACKEND_NAMES = ("thread", "process")
+
+
+class BackendError(RuntimeError):
+    """Unknown backend names, unpicklable payload parts, or non-rebuildable
+    shard state the process backend cannot ship across the fork."""
+
+
+@dataclass(frozen=True)
+class JobPayload:
+    """Everything a worker process needs to run one job, picklable.
+
+    The world travels as its :class:`WorldConfig` (generation is a pure
+    function of the config), the registry as the entry-name subset of the
+    default registry; both carry fingerprints the worker re-verifies after
+    rebuilding.
+    """
+
+    query: str
+    params: dict | None
+    world_config: WorldConfig
+    world_fingerprint: str
+    registry_names: tuple[str, ...]
+    registry_fingerprint: str
+    incidents: tuple[LatencyIncident, ...] = ()
+    llm_factory: object | None = None
+    #: Stable identity of ``llm_factory``, precomputed broker-side so worker
+    #: processes key their system cache without re-pickling it per job.
+    llm_key: str = ""
+    cache_entries: int = 0  # 0 disables the process-local artifact cache
+
+
+# -- worker-process side ------------------------------------------------------
+
+#: Process-local systems keyed by everything a system is a function of.  One
+#: entry per (world config, registry, incidents, llm) combination the worker
+#: has served — the expensive objects are built once per process, never per
+#: job, which is what makes the process backend's steady state fast.
+_WORKER_SYSTEMS: dict[tuple, ArachNet] = {}
+
+
+def _worker_system(payload: JobPayload) -> ArachNet:
+    key = (
+        payload.world_config,
+        payload.registry_fingerprint,
+        payload.incidents,
+        payload.llm_key,
+        payload.cache_entries,
+    )
+    system = _WORKER_SYSTEMS.get(key)
+    if system is None:
+        world = build_world(payload.world_config)
+        if world.fingerprint() != payload.world_fingerprint:
+            raise BackendError(
+                f"worker rebuilt world {world.fingerprint()} from config but the "
+                f"broker serves {payload.world_fingerprint}; the process backend "
+                "requires worlds reproducible from their WorldConfig"
+            )
+        registry = default_registry().subset(names=list(payload.registry_names))
+        if registry.fingerprint() != payload.registry_fingerprint:
+            raise BackendError(
+                "worker could not rebuild the shard registry from the default "
+                "registry by name subset; use the thread backend for custom registries"
+            )
+        kwargs: dict = {
+            "curate": False,
+            "cache": (
+                ArtifactCache(max_entries=payload.cache_entries)
+                if payload.cache_entries
+                else None
+            ),
+        }
+        if payload.llm_factory is not None:
+            kwargs["llm"] = payload.llm_factory()
+        system = ArachNet.for_world(
+            world, registry=registry, incidents=list(payload.incidents), **kwargs
+        )
+        _WORKER_SYSTEMS[key] = system
+    return system
+
+
+def _process_execute(payload: JobPayload) -> tuple[PipelineResult, dict]:
+    """Runs in the worker process: answer the query, report cache economics."""
+    system = _worker_system(payload)
+    result = system.answer(payload.query, params=payload.params)
+    cache_stats = system.cache.stats() if system.cache is not None else None
+    return result, {"pid": os.getpid(), "cache": cache_stats}
+
+
+# -- broker side --------------------------------------------------------------
+
+
+class ExecutionBackend:
+    """The protocol the broker drives.  ``run`` is called concurrently from
+    every worker thread; ``prepare`` is called once per registered world so
+    misconfiguration fails at ``add_world`` time, not first-job time.
+
+    ``run`` must deliver every produced :class:`StageTrace` to ``observer``
+    (when given) — streamed live where the pipeline runs in-process, or
+    replayed from the result where it ran elsewhere — so the provenance
+    ledger sees partial traces even when a later stage fails in-process.
+    """
+
+    name = "base"
+
+    def start(self) -> "ExecutionBackend":
+        return self
+
+    def shutdown(self, wait: bool = True) -> None:
+        pass
+
+    def prepare(self, shard: WorldShard) -> None:
+        pass
+
+    def run(
+        self, shard: WorldShard, query: str, params: dict | None, observer=None
+    ) -> PipelineResult:
+        raise NotImplementedError
+
+    def stats(self) -> dict:
+        return {"backend": self.name}
+
+
+class ThreadPoolBackend(ExecutionBackend):
+    """Run jobs in the claiming worker thread (the original serve behaviour)."""
+
+    name = "thread"
+
+    def run(
+        self, shard: WorldShard, query: str, params: dict | None, observer=None
+    ) -> PipelineResult:
+        return shard.system.answer(query, params=params, observer=observer)
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Ship jobs to a preforked pool of worker processes.
+
+    The pool is created in :meth:`start` — which the broker calls *before*
+    its worker threads exist, so forking is safe — and each broker thread
+    then blocks on ``apply`` while its job runs out-of-process, keeping the
+    scheduler/ledger/retention logic identical across backends.
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        num_workers: int = 4,
+        llm_factory=None,
+        cache_entries: int = 4096,
+        start_method: str | None = None,
+    ):
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self.num_workers = num_workers
+        self._llm_factory = llm_factory
+        self._cache_entries = cache_entries
+        self._start_method = start_method
+        self._pool = None
+        self._payloads: dict[str, JobPayload] = {}
+        self._proc_cache_stats: dict[int, dict] = {}
+        self._lock = threading.Lock()
+
+    def start(self) -> "ProcessPoolBackend":
+        if self._pool is None:
+            method = self._start_method
+            if method is None:
+                available = multiprocessing.get_all_start_methods()
+                method = "fork" if "fork" in available else "spawn"
+            ctx = multiprocessing.get_context(method)
+            self._pool = ctx.Pool(processes=self.num_workers)
+        return self
+
+    def shutdown(self, wait: bool = True) -> None:
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        # Always close, never terminate: broker threads may still be blocked
+        # in apply(), and in-flight jobs are guaranteed to run to completion.
+        # ``wait=False`` skips the join — the pool drains those applies and
+        # its processes exit on their own.
+        pool.close()
+        if wait:
+            pool.join()
+
+    def prepare(self, shard: WorldShard) -> None:
+        self._payloads[shard.key] = self._template_for(shard)
+
+    def run(
+        self, shard: WorldShard, query: str, params: dict | None, observer=None
+    ) -> PipelineResult:
+        if self._pool is None:
+            raise BackendError("process backend is not started")
+        template = self._payloads.get(shard.key)
+        if template is None:
+            template = self._template_for(shard)
+            self._payloads[shard.key] = template
+        payload = dataclasses.replace(template, query=query, params=params)
+        result, meta = self._pool.apply(_process_execute, (payload,))
+        with self._lock:
+            self._proc_cache_stats[meta["pid"]] = meta["cache"]
+        if observer is not None:
+            # Traces travelled back inside the result; replay them.  (A job
+            # that raised worker-side surfaces as an exception from apply —
+            # its partial trace does not cross the process boundary.)
+            for trace in result.stage_trace:
+                observer(trace)
+        return result
+
+    def stats(self) -> dict:
+        """Aggregate per-process artifact-cache economics (last seen per pid)."""
+        with self._lock:
+            snapshots = [s for s in self._proc_cache_stats.values() if s]
+            processes = len(self._proc_cache_stats)
+        merged = None
+        if snapshots:
+            merged = {
+                "entries": sum(s["entries"] for s in snapshots),
+                "hits": sum(s["hits"] for s in snapshots),
+                "misses": sum(s["misses"] for s in snapshots),
+                "evictions": sum(s["evictions"] for s in snapshots),
+            }
+            total = merged["hits"] + merged["misses"]
+            merged["hit_rate"] = merged["hits"] / total if total else 0.0
+        return {
+            "backend": self.name,
+            "workers": self.num_workers,
+            "processes": processes,
+            "cache": merged,
+        }
+
+    def _template_for(self, shard: WorldShard) -> JobPayload:
+        """Validate the shard is shippable and build its payload template."""
+        system = shard.system
+        if system.curate:
+            raise BackendError(
+                "process backend does not support curation (registry evolution "
+                "would be process-local and diverge); use the thread backend"
+            )
+        registry = system.registry
+        names = tuple(registry.names())
+        if default_registry().subset(names=list(names)).fingerprint() != registry.fingerprint():
+            raise BackendError(
+                "process backend requires a registry derivable from the default "
+                "registry by name subset; use the thread backend for custom entries"
+            )
+        try:
+            llm_blob = pickle.dumps(self._llm_factory)
+        except Exception as exc:
+            raise BackendError(
+                "llm_factory must be picklable for the process backend — use "
+                f"functools.partial over a module-level class, not a lambda ({exc})"
+            ) from None
+        world = shard.world
+        return JobPayload(
+            query="",
+            params=None,
+            world_config=world.config,
+            world_fingerprint=world.fingerprint(),
+            registry_names=names,
+            registry_fingerprint=registry.fingerprint(),
+            incidents=tuple(system.context.incidents),
+            llm_factory=self._llm_factory,
+            llm_key=hashlib.sha256(llm_blob).hexdigest()[:16],
+            cache_entries=self._cache_entries,
+        )
+
+
+def build_backend(
+    name: str,
+    num_workers: int = 4,
+    llm_factory=None,
+    cache_entries: int = 4096,
+) -> ExecutionBackend:
+    """Backend factory for :class:`ServeConfig.backend` names."""
+    if name == "thread":
+        return ThreadPoolBackend()
+    if name == "process":
+        return ProcessPoolBackend(
+            num_workers=num_workers,
+            llm_factory=llm_factory,
+            cache_entries=cache_entries,
+        )
+    raise BackendError(f"unknown backend {name!r}; expected one of {BACKEND_NAMES}")

@@ -17,6 +17,7 @@ from typing import Callable
 
 from repro.core.artifacts import PipelineResult
 from repro.core.registry import Registry
+from repro.serve.backends import build_backend
 from repro.serve.cache import ArtifactCache
 from repro.serve.provenance import ProvenanceLedger
 from repro.serve.scheduler import PriorityScheduler, SchedulerClosed, WorldShard
@@ -39,6 +40,12 @@ class ServeConfig:
     """Tunables for one broker instance."""
 
     workers: int = 4
+    #: Where job pipelines execute: ``"thread"`` runs them in the claiming
+    #: worker thread (best when LLM latency dominates — threads overlap it);
+    #: ``"process"`` ships picklable payloads to a preforked process pool
+    #: (best when generated-code execution is CPU-bound and the GIL is the
+    #: bottleneck).  See :mod:`repro.serve.backends`.
+    backend: str = "thread"
     cache_enabled: bool = True
     max_cache_entries: int = 4096
     curate: bool = False  # registry evolution is opt-in while serving
@@ -47,7 +54,9 @@ class ServeConfig:
     #: Size it above the largest campaign whose tickets are awaited at once.
     max_retained_jobs: int = 10_000
     #: Builds one LLM backend per shard; ``None`` keeps each system's default
-    #: (the deterministic :class:`SimulatedLLM`).
+    #: (the deterministic :class:`SimulatedLLM`).  With ``backend="process"``
+    #: it must be picklable (e.g. ``functools.partial`` over a module-level
+    #: class), since worker processes build their own instance.
     llm_factory: Callable[[], object] | None = None
 
 
@@ -104,6 +113,14 @@ class QueryBroker:
             else None
         )
         self.ledger = ProvenanceLedger()
+        self.backend = build_backend(
+            self.config.backend,
+            num_workers=self.config.workers,
+            llm_factory=self.config.llm_factory,
+            cache_entries=(
+                self.config.max_cache_entries if self.config.cache_enabled else 0
+            ),
+        )
         self._scheduler = PriorityScheduler()
         self._pool = WorkerPool(
             self._scheduler, self._run_job, num_workers=self.config.workers
@@ -123,14 +140,30 @@ class QueryBroker:
 
     def start(self) -> "QueryBroker":
         if not self._pool.started:
+            # Backend first: a process pool must fork before worker threads
+            # exist, or the children could inherit mid-held locks.
+            self.backend.start()
             self._pool.start()
         return self
 
     def shutdown(self, wait: bool = True, drain: bool = True) -> None:
-        if self._pool.started:
+        started = self._pool.started
+        if started:
             self._pool.shutdown(wait=wait, drain=drain)
         else:
             self._scheduler.close()
+        if wait or not started:
+            self.backend.shutdown(wait=wait)
+        else:
+            # Claimer threads are still draining; close the backend only
+            # once they exit, so in-flight and queued jobs run to completion.
+            threading.Thread(
+                target=self._shutdown_backend_after_drain, daemon=True
+            ).start()
+
+    def _shutdown_backend_after_drain(self) -> None:
+        self._pool.join()
+        self.backend.shutdown(wait=True)
 
     def __enter__(self) -> "QueryBroker":
         return self.start()
@@ -160,6 +193,9 @@ class QueryBroker:
                 cache=self.cache,
                 curate=self.config.curate,
             )
+            # Fail at registration, not first job: the process backend checks
+            # the shard is shippable (rebuildable registry, picklable LLM).
+            self.backend.prepare(shard)
             self._shards[key] = shard
             return shard
 
@@ -277,6 +313,7 @@ class QueryBroker:
             "workers": self.config.workers,
             "active_jobs": self._pool.active_jobs,
             "scheduler": self._scheduler.stats(),
+            "backend": self.backend.stats(),
             "cache": self.cache.stats() if self.cache else None,
             "worlds": self.world_keys(),
         }
@@ -292,8 +329,8 @@ class QueryBroker:
         provenance = self.ledger.get(job.ticket)
         self.ledger.mark_started(job.ticket, worker_name)
         try:
-            result = shard.system.answer(
-                job.query, params=job.params, observer=provenance.observer()
+            result = self.backend.run(
+                shard, job.query, job.params, observer=provenance.observer()
             )
         except Exception as exc:  # a failed job must never take a worker down
             job.error = f"{type(exc).__name__}: {exc}"

@@ -1,10 +1,13 @@
 """The worker pool: N threads draining the scheduler.
 
-Threads — not processes — because the production bottleneck is hosted-LLM
-round-trip latency, which threads overlap perfectly; artifacts stay in
-shared memory so the cache and provenance ledger need no serialization.
-Shutdown is graceful: in-flight jobs always run to completion, and
-``drain=True`` additionally finishes everything already queued.
+The threads are *claimers*, not necessarily where pipelines run: each one
+pops a job and hands it to the broker's :class:`ExecutionBackend` — the
+thread backend runs it in place (ideal when hosted-LLM round-trip latency
+dominates; threads overlap the waits and artifacts stay in shared memory),
+while the process backend blocks the thread on an out-of-process worker so
+CPU-bound generated code escapes the GIL.  Shutdown is graceful: in-flight
+jobs always run to completion, and ``drain=True`` additionally finishes
+everything already queued.
 """
 
 from __future__ import annotations
@@ -65,6 +68,11 @@ class WorkerPool:
     def active_jobs(self) -> int:
         with self._active_lock:
             return self._active
+
+    def join(self) -> None:
+        """Block until every worker thread has exited (call after shutdown)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
 
     def shutdown(self, wait: bool = True, drain: bool = True) -> None:
         """Stop the pool.

@@ -67,6 +67,11 @@ class SyntheticWorld:
         self.prefix_by_cidr = {
             p.cidr: p for plist in self.prefixes.values() for p in plist
         }
+        # Memoized derivations; the world is immutable by convention, so both
+        # are computed at most once (the BGP collector consults all_prefixes
+        # per route table and the serve/live layers fingerprint per payload).
+        self._all_prefixes: list[Prefix] | None = None
+        self._fingerprint: str | None = None
 
     # -- lookup helpers -----------------------------------------------------
 
@@ -101,7 +106,10 @@ class SyntheticWorld:
         return list(self.prefixes.get(asn, []))
 
     def all_prefixes(self) -> list[Prefix]:
-        return [p for plist in self.prefixes.values() for p in plist]
+        """Every announced prefix, memoized — callers must not mutate it."""
+        if self._all_prefixes is None:
+            self._all_prefixes = [p for plist in self.prefixes.values() for p in plist]
+        return self._all_prefixes
 
     def ases_in_country(self, code: str) -> list[AutonomousSystem]:
         return self.as_layer.by_country(code)
@@ -113,13 +121,16 @@ class SyntheticWorld:
         distinguish any two worlds :func:`build_world` can produce, since
         generation is a pure function of the config.  The live subsystem
         folds this into per-epoch fingerprints so cached epoch results from
-        one world can never be served for another.
+        one world can never be served for another, and the process execution
+        backend ships it with every job payload — so compute it once.
         """
-        material = json.dumps(
-            {"config": asdict(self.config), "summary": self.summary()},
-            sort_keys=True,
-        )
-        return hashlib.sha256(material.encode("utf-8")).hexdigest()[:16]
+        if self._fingerprint is None:
+            material = json.dumps(
+                {"config": asdict(self.config), "summary": self.summary()},
+                sort_keys=True,
+            )
+            self._fingerprint = hashlib.sha256(material.encode("utf-8")).hexdigest()[:16]
+        return self._fingerprint
 
     def summary(self) -> dict[str, int]:
         """Size summary used by docs and sanity tests."""

@@ -66,20 +66,39 @@ class ASGraph:
         return graph
 
 
-def failed_as_pairs(world: SyntheticWorld, failed_link_ids: list[str]) -> set[tuple[int, int]]:
-    """AS adjacencies severed by a link-failure set.
+class AdjacencyIndex:
+    """Link→AS-pair indexes for fast severed-adjacency computation.
 
-    An adjacency dies only when *every* parallel IP link between the pair is
-    down — transit pairs usually keep redundant links, which is why cable
-    cuts degrade rather than partition.
+    Build once per world and reuse: :meth:`dead_pairs` then costs
+    O(|failed links|) instead of a full scan of every IP link.  This is the
+    single definition of the redundancy rule — an adjacency dies only when
+    *every* parallel IP link between the pair is down; transit pairs usually
+    keep redundant links, which is why cable cuts degrade rather than
+    partition.
     """
-    failed = set(failed_link_ids)
-    links_per_pair: dict[tuple[int, int], list[str]] = {}
-    for link in world.ip_links:
-        links_per_pair.setdefault(link.as_pair, []).append(link.id)
-    dead: set[tuple[int, int]] = set()
-    for pair, link_ids in links_per_pair.items():
-        if all(link_id in failed for link_id in link_ids):
-            if any(link_id in failed for link_id in link_ids):
-                dead.add(pair)
-    return dead
+
+    def __init__(self, world: SyntheticWorld):
+        self.pair_of_link: dict[str, tuple[int, int]] = {
+            link.id: link.as_pair for link in world.ip_links
+        }
+        self.links_per_pair: dict[tuple[int, int], list[str]] = {}
+        for link in world.ip_links:
+            self.links_per_pair.setdefault(link.as_pair, []).append(link.id)
+
+    def dead_pairs(self, failed_link_ids) -> set[tuple[int, int]]:
+        """AS adjacencies severed by a link-failure set."""
+        failed = set(failed_link_ids)
+        candidates = {
+            self.pair_of_link[lid] for lid in failed if lid in self.pair_of_link
+        }
+        return {
+            pair
+            for pair in candidates
+            if all(lid in failed for lid in self.links_per_pair[pair])
+        }
+
+
+def failed_as_pairs(world: SyntheticWorld, failed_link_ids: list[str]) -> set[tuple[int, int]]:
+    """AS adjacencies severed by a link-failure set (one-shot convenience;
+    callers on a hot path should hold an :class:`AdjacencyIndex`)."""
+    return AdjacencyIndex(world).dead_pairs(failed_link_ids)

@@ -5,6 +5,17 @@ edges, crosses at most one peering edge, then descends provider→customer.
 Shortest valley-free paths drive both the BGP collector simulation (AS paths
 in announcements) and the traceroute substrate (which IP links a probe's
 packets traverse).
+
+The module also provides the *incremental* convergence primitives the BGP
+collector builds on: removing adjacencies from the graph can only change
+routes whose recorded best path crossed a removed adjacency (removal never
+creates paths, and the BFS tie-break is deterministic), so re-convergence
+only needs to recompute the **affected frontier** — the sources with at
+least one crossing path — and can share every other source's table with
+the baseline structurally.  :func:`path_crosses` and
+:func:`path_adjacencies` are the crossing predicates that frontier is
+built from, and ``ValleyFreeRouter(dead_pairs=...)`` routes around severed
+edges without materialising a pruned graph.
 """
 
 from __future__ import annotations
@@ -18,12 +29,61 @@ _CLIMBING = 0  # still allowed to go up or take the single lateral step
 _DESCENDING = 1  # only provider→customer edges remain legal
 
 
-class ValleyFreeRouter:
-    """Single-source shortest valley-free paths with deterministic tie-breaks."""
+def path_crosses(path: tuple[int, ...], dead_pairs: set[tuple[int, int]]) -> bool:
+    """Whether an AS path traverses any severed adjacency.
 
-    def __init__(self, graph: ASGraph):
+    ``dead_pairs`` holds normalised ``(min, max)`` tuples — the output of
+    :func:`repro.topology.relations.failed_as_pairs`.
+    """
+    for a, b in zip(path, path[1:]):
+        if ((a, b) if a < b else (b, a)) in dead_pairs:
+            return True
+    return False
+
+
+def path_adjacencies(path: tuple[int, ...]) -> set[tuple[int, int]]:
+    """The normalised adjacency pairs one path traverses."""
+    return {((a, b) if a < b else (b, a)) for a, b in zip(path, path[1:])}
+
+
+class ValleyFreeRouter:
+    """Single-source shortest valley-free paths with deterministic tie-breaks.
+
+    ``dead_pairs`` (normalised ``(min, max)`` adjacencies) routes *around*
+    severed edges without copying the graph — incremental re-convergence
+    builds one filtered router per failure set instead of materialising a
+    pruned :class:`ASGraph`, and only the nodes the BFS actually visits pay
+    for adjacency sorting and filtering.
+    """
+
+    def __init__(self, graph: ASGraph, dead_pairs: set[tuple[int, int]] | None = None):
         self._graph = graph
+        self._dead_pairs = dead_pairs or None
         self._cache: dict[int, dict[int, tuple[int, ...]]] = {}
+        # Sorted (and dead-pair-filtered) adjacency computed once per router:
+        # neighbour expansion order decides tie-breaks, and re-sorting sets
+        # at every node visit dominated the BFS profile.
+        self._providers: dict[int, list[int]] = {}
+        self._customers: dict[int, list[int]] = {}
+        self._peers: dict[int, list[int]] = {}
+
+    def _filtered(self, asn: int, neighbours) -> list[int]:
+        dead = self._dead_pairs
+        if not dead:
+            return sorted(neighbours)
+        return sorted(
+            n for n in neighbours
+            if ((asn, n) if asn < n else (n, asn)) not in dead
+        )
+
+    def _adjacency(self, asn: int) -> tuple[list[int], list[int], list[int]]:
+        providers = self._providers.get(asn)
+        if providers is None:
+            graph = self._graph
+            providers = self._providers[asn] = self._filtered(asn, graph.providers[asn])
+            self._customers[asn] = self._filtered(asn, graph.customers[asn])
+            self._peers[asn] = self._filtered(asn, graph.peers[asn])
+        return providers, self._customers[asn], self._peers[asn]
 
     def paths_from(self, src: int) -> dict[int, tuple[int, ...]]:
         """Shortest valley-free path from ``src`` to every reachable AS.
@@ -33,8 +93,7 @@ class ValleyFreeRouter:
         """
         if src in self._cache:
             return self._cache[src]
-        graph = self._graph
-        if src not in graph.all_asns:
+        if src not in self._graph.all_asns:
             raise KeyError(f"unknown AS {src}")
 
         best: dict[tuple[int, int], tuple[int, ...]] = {(src, _CLIMBING): (src,)}
@@ -44,11 +103,12 @@ class ValleyFreeRouter:
         while queue:
             asn, phase = queue.popleft()
             path = best[(asn, phase)]
+            providers, customers, peers = self._adjacency(asn)
             candidates: list[tuple[int, int]] = []
             if phase == _CLIMBING:
-                candidates.extend((p, _CLIMBING) for p in sorted(graph.providers[asn]))
-                candidates.extend((p, _DESCENDING) for p in sorted(graph.peers[asn]))
-            candidates.extend((c, _DESCENDING) for c in sorted(graph.customers[asn]))
+                candidates.extend((p, _CLIMBING) for p in providers)
+                candidates.extend((p, _DESCENDING) for p in peers)
+            candidates.extend((c, _DESCENDING) for c in customers)
 
             for nxt, nxt_phase in candidates:
                 if nxt in path:
@@ -73,5 +133,8 @@ class ValleyFreeRouter:
         return set(self.paths_from(src).keys())
 
     def invalidate(self) -> None:
-        """Drop cached paths (call after mutating the underlying graph)."""
+        """Drop cached paths and adjacency (call after mutating the graph)."""
         self._cache.clear()
+        self._providers.clear()
+        self._customers.clear()
+        self._peers.clear()

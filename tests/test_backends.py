@@ -1,0 +1,204 @@
+"""Execution backends: thread/process parity, payload validation, stats."""
+
+import functools
+import json
+
+import pytest
+
+from repro.core.llm.simulated import SimulatedHostedLLM
+from repro.serve import (
+    BackendError,
+    CampaignJob,
+    JobPayload,
+    ProcessPoolBackend,
+    QueryBroker,
+    ServeConfig,
+    ThreadPoolBackend,
+    build_backend,
+    run_campaign,
+)
+from repro.serve.backends import _process_execute, _worker_system
+from repro.synth.scenarios import make_latency_incident
+from repro.synth.world import WorldConfig, build_world
+
+
+@pytest.fixture(scope="module")
+def campaign_world():
+    return build_world(WorldConfig())
+
+
+def _campaign_jobs(world, count=3):
+    names = world.cable_names()[:count]
+    return [
+        CampaignJob(
+            query=f"Identify the impact at a country level due to {name} cable failure",
+            tag=f"cable:{name}",
+        )
+        for name in names
+    ]
+
+
+def _run_backend_campaign(world, backend, jobs, cache_enabled=True):
+    """One campaign through one backend; returns (report, digests, stats)."""
+    broker = QueryBroker(
+        world,
+        config=ServeConfig(workers=2, backend=backend, cache_enabled=cache_enabled),
+    ).start()
+    try:
+        report = run_campaign(broker, jobs)
+        digests = [broker.result(t).artifact_digest() for t in report.tickets]
+        payloads = [
+            json.dumps(broker.result(t).to_dict()["execution"], sort_keys=True)
+            for t in report.tickets
+        ]
+        # Stage provenance must reach the ledger through every backend
+        # (streamed in-thread, replayed from the shipped result otherwise).
+        ledger = broker.ledger.summary()
+        assert ledger["per_stage"]["querymind"]["calls"] == len(jobs)
+        stats = broker.stats()
+    finally:
+        broker.shutdown()
+    return report, digests, payloads, stats
+
+
+def test_build_backend_names():
+    assert isinstance(build_backend("thread"), ThreadPoolBackend)
+    assert isinstance(build_backend("process"), ProcessPoolBackend)
+    with pytest.raises(BackendError):
+        build_backend("carrier-pigeon")
+
+
+def test_thread_process_parity_byte_identical(campaign_world):
+    """The same campaign through both backends produces byte-identical
+    artifacts — digests and serialized execution outputs match per job."""
+    jobs = _campaign_jobs(campaign_world)
+    t_report, t_digests, t_payloads, _ = _run_backend_campaign(
+        campaign_world, "thread", jobs
+    )
+    p_report, p_digests, p_payloads, p_stats = _run_backend_campaign(
+        campaign_world, "process", jobs
+    )
+    assert t_report.failed == 0 and p_report.failed == 0
+    assert t_digests == p_digests
+    assert t_payloads == p_payloads
+    assert p_stats["backend"]["backend"] == "process"
+    assert p_stats["backend"]["processes"] >= 1
+
+
+def test_process_backend_with_incidents_and_hosted_llm(campaign_world):
+    """Incidents and a picklable llm_factory ship across the process
+    boundary and still match the thread backend byte for byte."""
+    incident = make_latency_incident(campaign_world, "SeaMeWe-5")
+    query = (
+        "A sudden increase in latency was observed from European probes to "
+        "Asian destinations starting three days ago. Determine if a submarine "
+        "cable failure caused this, and if so, identify the specific cable."
+    )
+    digests = {}
+    for backend in ("thread", "process"):
+        broker = QueryBroker(
+            campaign_world,
+            incidents=[incident],
+            config=ServeConfig(
+                workers=2,
+                backend=backend,
+                llm_factory=functools.partial(SimulatedHostedLLM, latency_s=0.0),
+            ),
+        ).start()
+        try:
+            digests[backend] = broker.result(broker.submit(query)).artifact_digest()
+        finally:
+            broker.shutdown()
+    assert digests["thread"] == digests["process"]
+
+
+def test_process_backend_rejects_curation(campaign_world):
+    broker = QueryBroker(
+        config=ServeConfig(workers=1, backend="process", curate=True)
+    )
+    with pytest.raises(BackendError, match="curation"):
+        broker.add_world("w", campaign_world)
+    broker.shutdown()
+
+
+def test_process_backend_rejects_unpicklable_llm_factory(campaign_world):
+    broker = QueryBroker(
+        config=ServeConfig(
+            workers=1, backend="process",
+            llm_factory=lambda: SimulatedHostedLLM(latency_s=0.0),
+        )
+    )
+    with pytest.raises(BackendError, match="picklable"):
+        broker.add_world("w", campaign_world)
+    broker.shutdown()
+
+
+def test_worker_system_verifies_world_fingerprint(campaign_world):
+    """A payload whose fingerprint does not match the rebuilt world fails
+    loudly instead of answering about a different Internet."""
+    from repro.core.registry import default_registry
+
+    registry = default_registry()
+    payload = JobPayload(
+        query="q", params=None,
+        world_config=campaign_world.config,
+        world_fingerprint="not-the-real-fingerprint",
+        registry_names=tuple(registry.names()),
+        registry_fingerprint=registry.fingerprint(),
+    )
+    with pytest.raises(BackendError, match="reproducible"):
+        _worker_system(payload)
+
+
+def test_process_execute_roundtrip_in_process(campaign_world):
+    """The worker-side entry point is a pure function of its payload: it can
+    run in this process and produce the same digest as a served job."""
+    from repro.core.registry import default_registry
+
+    registry = default_registry()
+    query = "Identify the impact at a country level due to SeaMeWe-5 cable failure"
+    payload = JobPayload(
+        query=query, params=None,
+        world_config=campaign_world.config,
+        world_fingerprint=campaign_world.fingerprint(),
+        registry_names=tuple(registry.names()),
+        registry_fingerprint=registry.fingerprint(),
+        cache_entries=64,
+    )
+    result, meta = _process_execute(payload)
+    assert result.execution.succeeded
+    assert meta["cache"]["misses"] > 0
+    # Same payload again: the process-local system and artifact cache serve it.
+    again, meta2 = _process_execute(payload)
+    assert again.artifact_digest() == result.artifact_digest()
+    assert meta2["cache"]["hits"] > 0
+
+
+def test_process_backend_warm_cache_across_resubmission(campaign_world):
+    """Resubmitting a campaign hits the process-local artifact caches.
+
+    One worker so both rounds land on the same process — with several
+    processes a resubmitted job may reach a sibling whose cache never saw
+    it (caches are process-local by design).
+    """
+    jobs = _campaign_jobs(campaign_world, count=2)
+    broker = QueryBroker(
+        campaign_world, config=ServeConfig(workers=1, backend="process")
+    ).start()
+    try:
+        first = run_campaign(broker, jobs)
+        assert first.failed == 0
+        second = run_campaign(broker, jobs)
+        assert second.failed == 0
+        merged = broker.stats()["backend"]["cache"]
+        assert merged is not None and merged["hits"] > 0
+    finally:
+        broker.shutdown()
+
+
+def test_backend_shutdown_is_idempotent(campaign_world):
+    broker = QueryBroker(
+        campaign_world, config=ServeConfig(workers=1, backend="process")
+    ).start()
+    broker.shutdown()
+    broker.shutdown()  # second shutdown must be a no-op

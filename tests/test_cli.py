@@ -70,7 +70,22 @@ def test_incident_flag_enables_forensics(capsys):
 def test_parser_serve_defaults():
     args = build_parser().parse_args(["--batch", "--workers", "8"])
     assert args.batch and args.workers == 8
+    assert args.backend == "thread"
     assert not args.serve and not args.no_cache
+
+
+def test_parser_rejects_unknown_backend(capsys):
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["--batch", "--backend", "smoke-signals"])
+
+
+def test_batch_mode_process_backend(capsys):
+    code = main(["--batch", "--limit", "2", "--workers", "2",
+                 "--backend", "process", "--json"])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["failed"] == 0
+    assert payload["total"] == 4
 
 
 def test_batch_mode_runs_campaign(capsys):
