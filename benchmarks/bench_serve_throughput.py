@@ -1,6 +1,6 @@
-"""S1 — Serve-layer throughput: worker scaling, backend axis, cache speedup.
+"""S1 — Serve-layer throughput: worker scaling, backend axis, affinity, cache.
 
-Three sections:
+Four sections:
 
 1. **Latency overlap** — the same scenario campaign through a fresh broker
    at 1, 4 and 8 worker threads with a modeled hosted-LLM round trip
@@ -11,7 +11,12 @@ Three sections:
    ``thread`` backend vs the ``process`` backend at equal worker counts.
    Threads serialize on the GIL here; the preforked process pool must win
    by ≥1.5× while producing byte-identical artifacts.
-3. **Warm cache** — resubmit the identical campaign against the warm
+3. **Affinity economics** — resubmit a campaign through the process
+   backend: sticky routing must send ≥80% of the resubmission back to
+   each job's bound worker (whose process-local caches hold it warm), and
+   the per-worker hit/miss/steal counters land in the output JSON so the
+   win is observable, not asserted.
+4. **Warm cache** — resubmit the identical campaign against the warm
    artifact cache to measure the memoization win.
 
 Standalone (what CI smokes)::
@@ -39,6 +44,7 @@ from repro.synth.world import WorldConfig, build_world
 MIN_WORKER_SPEEDUP = 2.0  # 4 workers vs 1 worker, 50-job campaign
 MIN_PROCESS_SPEEDUP = 1.5  # process vs thread backend, CPU-bound campaign
 MIN_RESUBMIT_HIT_RATE = 0.90
+MIN_AFFINITY_HIT_RATE = 0.80  # warm routing on campaign resubmission
 #: The CI smoke keeps looser scaling bars: on loaded shared runners the
 #: GIL-bound execution stage eats into the latency overlap, small campaigns
 #: amortize less startup jitter, and the process pool pays its fork cost
@@ -132,6 +138,42 @@ def compare_backends(world, jobs, workers: int) -> dict:
     return row
 
 
+def measure_affinity(world, jobs, workers: int) -> dict:
+    """Campaign resubmission through the process backend: warm-routing rate.
+
+    The cold round binds every (world, query) affinity key to a worker and
+    fills that worker's process-local caches; the resubmission must route
+    back to the bound workers (hit rate over the second round only) and
+    finish faster off their warm caches.
+    """
+    broker = QueryBroker(
+        world, config=ServeConfig(workers=workers, backend="process")
+    ).start()
+    try:
+        cold = run_campaign(broker, jobs)
+        assert cold.failed == 0, f"affinity cold round: {cold.outcomes}"
+        before = broker.stats()["backend"]["affinity"]
+        warm = run_campaign(broker, jobs)
+        assert warm.failed == 0, f"affinity warm round: {warm.outcomes}"
+        after = broker.stats()["backend"]["affinity"]
+    finally:
+        broker.shutdown()
+    routed = sum(after[k] - before[k] for k in ("hits", "misses", "steals"))
+    hit_rate = (after["hits"] - before["hits"]) / routed if routed else 0.0
+    row = {
+        "jobs": len(jobs),
+        "workers": workers,
+        "hit_rate": round(hit_rate, 4),
+        "resubmit_speedup": round(warm.jobs_per_sec / cold.jobs_per_sec, 3),
+        "counters": after,
+    }
+    print(f"  resubmit routing: {after['hits'] - before['hits']}/{routed} "
+          f"to bound workers ({hit_rate:.0%}), "
+          f"{row['resubmit_speedup']:.2f}x vs cold "
+          f"({after['steals']} steals, {after['respawns']} respawns total)")
+    return row
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--jobs", type=int, default=50)
@@ -181,12 +223,18 @@ def main(argv: list[str] | None = None) -> int:
     print(f"  speedup {scaled}w vs {baseline}w: {speedup:.2f}x")
 
     backends = None
+    affinity = None
     cores = available_cores()
     if not args.skip_backends:
         print(f"\n=== backend axis — {args.cpu_jobs} CPU-bound jobs "
               f"(zero LLM latency, cache off), {args.backend_workers} workers, "
               f"{cores} core(s) available ===")
         backends = compare_backends(
+            world, build_jobs(world, args.cpu_jobs), args.backend_workers
+        )
+        print(f"\n=== affinity economics — {args.cpu_jobs} jobs resubmitted, "
+              f"{args.backend_workers} workers, process backend ===")
+        affinity = measure_affinity(
             world, build_jobs(world, args.cpu_jobs), args.backend_workers
         )
 
@@ -218,6 +266,10 @@ def main(argv: list[str] | None = None) -> int:
             summary["process_speedup"] = round(backends["speedup"], 3)
             summary["artifacts_identical"] = backends["artifacts_identical"]
             summary["cores"] = cores
+        if affinity is not None:
+            summary["affinity_hit_rate"] = affinity["hit_rate"]
+            summary["affinity_resubmit_speedup"] = affinity["resubmit_speedup"]
+            summary["affinity"] = affinity["counters"]
         with open(args.out, "w", encoding="utf-8") as handle:
             json.dump(summary, handle, indent=1)
         print(f"  wrote {args.out}")
@@ -249,6 +301,14 @@ def main(argv: list[str] | None = None) -> int:
                 print("  NOTE: single core available — process-speedup "
                       "threshold skipped (artifact identity still enforced)")
                 process_note = ", identical artifacts (1 core: no speedup bar)"
+        if affinity is not None:
+            # Sticky routing is deterministic; the bar holds on any core count.
+            assert affinity["hit_rate"] >= MIN_AFFINITY_HIT_RATE, (
+                f"affinity hit rate {affinity['hit_rate']:.0%} below "
+                f"{MIN_AFFINITY_HIT_RATE:.0%} on resubmission"
+            )
+            process_note += (f", >={MIN_AFFINITY_HIT_RATE:.0%} warm "
+                             "affinity routing")
         print(f"  thresholds met: >={min_speedup}x scaling, "
               f">={MIN_RESUBMIT_HIT_RATE:.0%} warm hit rate" + process_note)
     return 0

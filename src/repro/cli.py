@@ -69,6 +69,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="execution backend: 'thread' overlaps LLM latency "
                             "in-process, 'process' runs CPU-bound pipelines on "
                             "a preforked process pool (default thread)")
+    serve.add_argument("--no-affinity", action="store_true",
+                       help="disable sticky affinity routing for --backend "
+                            "process (jobs spread purely by worker load)")
+    serve.add_argument("--dispatch-batch", type=int, default=8, metavar="N",
+                       help="jobs coalesced into one process-backend dispatch "
+                            "message (default 8; 1 disables batching)")
     serve.add_argument("--no-cache", action="store_true",
                        help="disable the artifact cache in serve modes")
     serve.add_argument("--limit", type=int, metavar="N",
@@ -88,6 +94,9 @@ def build_parser() -> argparse.ArgumentParser:
     live.add_argument("--pace-ms", type=float, default=0.0, metavar="MS",
                       help="real milliseconds per epoch (default 0 = as fast "
                            "as possible)")
+    live.add_argument("--max-epoch-shards", type=int, default=8, metavar="N",
+                      help="evolved-world shards retained for standing "
+                           "queries before LRU eviction (default 8)")
     return parser
 
 
@@ -95,7 +104,9 @@ def _serve_config(args) -> "ServeConfig":
     from repro.serve import ServeConfig
 
     return ServeConfig(workers=args.workers, backend=args.backend,
-                       cache_enabled=not args.no_cache)
+                       cache_enabled=not args.no_cache,
+                       affinity=not args.no_affinity,
+                       dispatch_batch=args.dispatch_batch)
 
 
 def _effective_cache_dir(args) -> str | None:
@@ -150,6 +161,7 @@ def run_batch(args, world, registry, incidents) -> int:
         _load_cache(broker, cache_file)
         report = run_campaign(broker, spec)
         ledger_summary = broker.ledger.summary()
+        backend_stats = broker.stats()["backend"]
         _spill_cache(broker, cache_file)
 
     if args.json:
@@ -164,6 +176,11 @@ def run_batch(args, world, registry, incidents) -> int:
             print(f"cache:    {report.cache['hits']} hits / "
                   f"{report.cache['misses']} misses "
                   f"({report.cache['hit_rate']:.0%} hit rate)")
+        affinity = backend_stats.get("affinity")
+        if affinity:
+            print(f"affinity: {affinity['hits']} hits / {affinity['misses']} "
+                  f"misses / {affinity['steals']} steals "
+                  f"({affinity['hit_rate']:.0%} warm routing)")
         print("top exposed countries across scenarios:")
         for row in report.top_countries[:8]:
             print(f"  {row['country']:<4} mean score {row['mean_score']:.3f} "
@@ -240,8 +257,11 @@ def run_live(args, world, registry) -> int:
         pace_s=args.pace_ms / 1000.0,
         workers=args.workers,
         backend=args.backend,
+        affinity=not args.no_affinity,
+        dispatch_batch=args.dispatch_batch,
         cache_enabled=not args.no_cache,
         cache_dir=_effective_cache_dir(args),
+        max_epoch_shards=args.max_epoch_shards,
     )
     timeline = default_cable_cut_timeline(
         world,
@@ -268,7 +288,9 @@ def run_live(args, world, registry) -> int:
         stats = report.standing_stats
         print(f"standing:  {stats['evaluations']} evaluations, "
               f"{stats['submitted']} computed, {stats['cache_hits']} cache hits "
-              f"({stats['hit_rate']:.0%} hit rate)")
+              f"({stats['hit_rate']:.0%} hit rate); "
+              f"{stats['epoch_shards']} epoch shards retained, "
+              f"{stats['shards_evicted']} evicted")
         rstats = report.routing_stats
         if rstats:
             print(f"routing:   {rstats['hits']} route-table hits / "

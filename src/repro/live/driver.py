@@ -44,11 +44,17 @@ class LiveConfig:
     pace_s: float = 0.0  # real seconds per epoch; 0 = as fast as possible
     workers: int = 2
     backend: str = "thread"  # standing-query execution backend (see serve.backends)
+    #: Process-backend tuning, passed through to :class:`ServeConfig`.
+    affinity: bool = True
+    dispatch_batch: int = 8
     cache_enabled: bool = True
     cache_dir: str | None = None
     pair_count: int = 8
     samples_per_pair: int = 4
     standing_every_n_epochs: int = 1
+    #: Evolved-world shards retained by the standing-query manager before
+    #: the least recently used idle one is evicted (see standing.py).
+    max_epoch_shards: int = 8
     result_timeout_s: float | None = 120.0
 
     def __post_init__(self) -> None:
@@ -190,6 +196,8 @@ def run_live_replay(
             world,
             registry=registry,
             config=ServeConfig(workers=cfg.workers, backend=cfg.backend,
+                               affinity=cfg.affinity,
+                               dispatch_batch=cfg.dispatch_batch,
                                cache_enabled=cfg.cache_enabled),
         ).start()
     cache_file = None
@@ -204,7 +212,7 @@ def run_live_replay(
     )
     bgp_feed = BGPFeed(world, bus)
     bank = DetectorBank(bus)
-    manager = StandingQueryManager(broker)
+    manager = StandingQueryManager(broker, max_epoch_shards=cfg.max_epoch_shards)
     if standing_queries is None:
         standing_queries = [StandingQuery(
             name="forensic-watch",

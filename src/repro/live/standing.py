@@ -14,10 +14,19 @@ Only epochs where the world actually changed reach the worker pool.
 
 Deregistration cancels any still-queued tickets through
 :meth:`QueryBroker.cancel` rather than letting orphaned jobs burn workers.
+
+Epoch shards are *retained*, not hoarded: each distinct changed-world
+configuration materializes one broker world shard, and a long timeline
+over a rich disaster catalog would otherwise grow that population without
+bound.  The manager keeps an LRU of at most ``max_epoch_shards`` epoch
+shards, evicting the least recently used idle shard (and its backend
+templates/affinity bindings, via :meth:`QueryBroker.remove_world`) when a
+new configuration appears; a re-encountered fingerprint simply rebuilds.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.live.clock import EpochState
@@ -88,19 +97,27 @@ class _Pending:
     epoch: EpochState
     material: dict
     ticket: str
+    world_key: str
 
 
 class StandingQueryManager:
     """Re-evaluates registered queries on epoch boundaries via the broker."""
 
-    def __init__(self, broker: QueryBroker):
+    def __init__(self, broker: QueryBroker, max_epoch_shards: int = 8):
+        if max_epoch_shards < 1:
+            raise ValueError("max_epoch_shards must be >= 1")
         self.broker = broker
+        self.max_epoch_shards = max_epoch_shards
         self._queries: dict[str, StandingQuery] = {}
         self._pending: list[_Pending] = []
+        #: LRU of evolved-world shards this manager registered (key → None);
+        #: the base shard is never tracked and never evicted.
+        self._epoch_shards: OrderedDict[str, None] = OrderedDict()
         self.evaluations = 0
         self.cache_hits = 0
         self.submitted = 0
         self.cancelled = 0
+        self.shards_evicted = 0
 
     # -- registration -------------------------------------------------------
 
@@ -156,6 +173,7 @@ class StandingQueryManager:
             return sq.world_key  # unchanged world: the base shard already is it
         key = f"{sq.world_key}@{epoch.fingerprint}"
         if key not in self.broker.world_keys():
+            self._evict_epoch_shards(keep=key)
             base = self.broker.shard(sq.world_key).world
             incidents = [
                 make_latency_incident(base, base.cables[cable_id].name)
@@ -163,7 +181,35 @@ class StandingQueryManager:
                 if cable_id in base.cables
             ]
             self.broker.add_world(key, base, incidents=incidents)
+        self._epoch_shards[key] = None
+        self._epoch_shards.move_to_end(key)
         return key
+
+    def _evict_epoch_shards(self, keep: str) -> None:
+        """Make room for one more epoch shard, LRU-first.
+
+        Shards with still-outstanding tickets are skipped (removing them
+        would fail those jobs mid-flight); they age out on a later pass
+        once collected.
+        """
+        busy = {p.world_key for p in self._pending}
+        while len(self._epoch_shards) >= self.max_epoch_shards:
+            victim = next(
+                (k for k in self._epoch_shards if k != keep and k not in busy),
+                None,
+            )
+            if victim is None:
+                return  # everything old is busy; retention overshoots briefly
+            del self._epoch_shards[victim]
+            try:
+                self.broker.remove_world(victim)
+            except Exception:
+                # A job raced in between the busy check and removal; keep
+                # the shard registered and try again on the next epoch.
+                self._epoch_shards[victim] = None
+                self._epoch_shards.move_to_end(victim, last=False)
+                return
+            self.shards_evicted += 1
 
     def on_epoch(self, epoch: EpochState) -> list[StandingResult]:
         """Evaluate every due query against this epoch's configuration.
@@ -191,14 +237,15 @@ class StandingQueryManager:
                         final=payload.get("final"),
                     ))
                     continue
+            world_key = self._epoch_shard_key(sq, epoch)
             ticket = self.broker.submit(
                 sq.query,
                 params=sq.params_dict() or None,
                 priority=sq.priority,
-                world_key=self._epoch_shard_key(sq, epoch),
+                world_key=world_key,
             )
             self.submitted += 1
-            self._pending.append(_Pending(sq, epoch, material, ticket))
+            self._pending.append(_Pending(sq, epoch, material, ticket, world_key))
         return served
 
     def collect(self, timeout: float | None = None) -> list[StandingResult]:
@@ -240,6 +287,9 @@ class StandingQueryManager:
             "cache_hits": self.cache_hits,
             "submitted": self.submitted,
             "cancelled": self.cancelled,
+            "epoch_shards": len(self._epoch_shards),
+            "max_epoch_shards": self.max_epoch_shards,
+            "shards_evicted": self.shards_evicted,
             "outstanding": len(self._pending),
             "hit_rate": self.cache_hits / self.evaluations if self.evaluations else 0.0,
         }

@@ -19,6 +19,7 @@ from repro.serve.backends import (
     JobPayload,
     ProcessPoolBackend,
     ThreadPoolBackend,
+    WorkerCrashed,
     build_backend,
 )
 from repro.serve.broker import (
@@ -64,6 +65,7 @@ __all__ = [
     "SchedulerClosed",
     "ServeConfig",
     "StageRecord",
+    "WorkerCrashed",
     "WorkerPool",
     "WorldShard",
     "aggregate_rankings",

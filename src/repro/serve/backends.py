@@ -7,14 +7,30 @@ decides what happens to a claimed job:
   against the shard's shared in-process system.  Right when hosted-LLM
   round-trip latency dominates: threads overlap the waits, artifacts stay
   in shared memory, and the broker-wide :class:`ArtifactCache` is shared.
-* :class:`ProcessPoolBackend` — ship a picklable :class:`JobPayload`
-  (query + :class:`WorldConfig` + registry fingerprint) to a preforked
-  worker process.  Right when generated-code execution is CPU-bound: each
-  process escapes the GIL, holds a process-local world/system cache keyed
-  by configuration (worlds are pure functions of their config, so they are
-  rebuilt once per process, never per job) and a process-local artifact
-  cache, and returns the finished :class:`PipelineResult` plus its cache
-  economics for the broker to aggregate.
+* :class:`ProcessPoolBackend` — an affinity-aware execution plane over
+  explicit preforked worker processes.  Right when generated-code
+  execution is CPU-bound: each process escapes the GIL and holds a
+  process-local world/system/artifact cache, and three mechanisms keep
+  the IPC bill from eating the win:
+
+  - **sticky affinity routing** — jobs hash to a (world, query) affinity
+    key; the dispatcher remembers which worker served a key and sends
+    resubmissions back to its warm caches, with a work-stealing fallback
+    (an idle worker takes over a key whose bound worker is backlogged)
+    so a hot world cannot starve the pool;
+  - **zero-copy transport** — results travel as pickle-protocol-5
+    payloads whose large bodies move through
+    :mod:`multiprocessing.shared_memory` segments instead of queue pipes
+    (see :mod:`repro.serve.transport`), and per-job requests are small
+    deltas against a :class:`JobPayload` template shipped once per
+    worker per shard;
+  - **batched dispatch** — concurrent dispatches to the same worker are
+    coalesced into one queue message, and workers prefork with every
+    already-registered world preloaded so first jobs land on warm state.
+
+  A worker process that dies mid-job is respawned by a monitor thread;
+  its in-flight jobs surface as :class:`WorkerCrashed` so the broker can
+  retry them once on a different worker.
 
 Both backends produce byte-identical artifacts for the same job: the
 pipeline is deterministic in (query, params, world config, registry), which
@@ -27,15 +43,22 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import itertools
+import json
 import multiprocessing
 import os
 import pickle
 import threading
+import time
+from collections import OrderedDict, deque
+from concurrent.futures import Future
 from dataclasses import dataclass
+from multiprocessing import connection
 
 from repro.core.artifacts import PipelineResult
 from repro.core.pipeline import ArachNet
 from repro.core.registry import default_registry
+from repro.serve import transport
 from repro.serve.cache import ArtifactCache
 from repro.serve.scheduler import WorldShard
 from repro.synth.scenarios import LatencyIncident
@@ -43,10 +66,35 @@ from repro.synth.world import WorldConfig, build_world
 
 BACKEND_NAMES = ("thread", "process")
 
+#: Params key intercepted (and stripped) worker-side for fault injection in
+#: tests: ``{"_serve_fault": "exit"}`` kills the worker before the pipeline
+#: runs, ``{"_serve_fault": {"exit_on_worker": 0}}`` kills it only on slot 0
+#: (so a broker retry that excludes slot 0 succeeds elsewhere), and
+#: ``{"_serve_fault": {"sleep_s": 0.5}}`` delays execution to build queue
+#: depth deterministically.
+FAULT_PARAM = "_serve_fault"
+
+#: Sticky bindings kept per backend before the oldest are forgotten.
+AFFINITY_MAP_BOUND = 65536
+
 
 class BackendError(RuntimeError):
     """Unknown backend names, unpicklable payload parts, or non-rebuildable
     shard state the process backend cannot ship across the fork."""
+
+
+class WorkerCrashed(BackendError):
+    """A worker process died with this job in flight.  Carries the affinity
+    slot so a retry can exclude it."""
+
+    def __init__(self, worker_index: int, message: str = ""):
+        super().__init__(
+            message or f"worker process on affinity slot {worker_index} died mid-job"
+        )
+        self.worker_index = worker_index
+
+    def __reduce__(self):
+        return (WorkerCrashed, (self.worker_index, self.args[0]))
 
 
 @dataclass(frozen=True)
@@ -56,7 +104,8 @@ class JobPayload:
     The world travels as its :class:`WorldConfig` (generation is a pure
     function of the config), the registry as the entry-name subset of the
     default registry; both carry fingerprints the worker re-verifies after
-    rebuilding.
+    rebuilding.  The backend ships one payload *template* per worker per
+    shard; per-job messages carry only ``(query, params)`` deltas.
     """
 
     query: str
@@ -82,14 +131,18 @@ class JobPayload:
 _WORKER_SYSTEMS: dict[tuple, ArachNet] = {}
 
 
-def _worker_system(payload: JobPayload) -> ArachNet:
-    key = (
+def _system_key(payload: JobPayload) -> tuple:
+    return (
         payload.world_config,
         payload.registry_fingerprint,
         payload.incidents,
         payload.llm_key,
         payload.cache_entries,
     )
+
+
+def _worker_system(payload: JobPayload) -> ArachNet:
+    key = _system_key(payload)
     system = _WORKER_SYSTEMS.get(key)
     if system is None:
         world = build_world(payload.world_config)
@@ -130,6 +183,90 @@ def _process_execute(payload: JobPayload) -> tuple[PipelineResult, dict]:
     return result, {"pid": os.getpid(), "cache": cache_stats}
 
 
+def _apply_fault(fault, index: int) -> None:
+    if fault is None:
+        return
+    if fault == "exit":
+        os._exit(3)
+    if isinstance(fault, dict):
+        if fault.get("exit_on_worker") == index:
+            os._exit(3)
+        sleep_s = fault.get("sleep_s")
+        if sleep_s:
+            time.sleep(float(sleep_s))
+
+
+def _encode_exception(exc: Exception) -> tuple:
+    try:
+        blob = pickle.dumps(exc)
+    except Exception:
+        blob = None
+    return ("exc", blob, type(exc).__name__, str(exc))
+
+
+def _decode_exception(message: tuple) -> Exception:
+    _, blob, type_name, text = message
+    if blob is not None:
+        try:
+            return pickle.loads(blob)
+        except Exception:
+            pass
+    return BackendError(f"{type_name}: {text}")
+
+
+def _run_one(index, templates, row, shm_min_bytes) -> tuple:
+    job_id, shard_key, query, params = row
+    try:
+        if params:
+            params = dict(params)
+            _apply_fault(params.pop(FAULT_PARAM, None), index)
+            params = params or None
+        template = templates.get(shard_key)
+        if template is None:
+            raise BackendError(
+                f"worker slot {index} never received a payload template for "
+                f"shard {shard_key!r}"
+            )
+        payload = dataclasses.replace(template, query=query, params=params)
+        result, meta = _process_execute(payload)
+        return (job_id, True, transport.encode(result, shm_min_bytes), meta)
+    except Exception as exc:  # shipped back and re-raised broker-side
+        return (job_id, False, _encode_exception(exc), None)
+
+
+def _worker_main(index: int, requests, replies, shm_min_bytes: int) -> None:
+    """One worker process: drain batches, run pipelines, reply per batch."""
+    templates: dict[str, JobPayload] = {}
+    while True:
+        try:
+            message = requests.get()
+        except (EOFError, OSError):  # broker side vanished
+            return
+        kind = message[0]
+        if kind == "stop":
+            return
+        if kind == "preload":
+            for shard_key, template in message[1].items():
+                templates[shard_key] = template
+                try:
+                    _worker_system(template)
+                except Exception:
+                    # A bad template fails loudly at first job, with the
+                    # error attached to a ticket someone is waiting on.
+                    pass
+            replies.put(("preloaded", index, os.getpid()))
+            continue
+        if kind == "forget":
+            template = templates.pop(message[1], None)
+            if template is not None:
+                _WORKER_SYSTEMS.pop(_system_key(template), None)
+            continue
+        _, new_templates, rows = message  # ("batch", {shard: template}, rows)
+        templates.update(new_templates)
+        out = [_run_one(index, templates, row, shm_min_bytes) for row in rows]
+        replies.put(("done", index, out))
+
+
 # -- broker side --------------------------------------------------------------
 
 
@@ -145,6 +282,9 @@ class ExecutionBackend:
     """
 
     name = "base"
+    #: Backends that overlap many jobs per claiming thread opt into the
+    #: broker's batched claim path (``run_many`` with several items).
+    supports_batch = False
 
     def start(self) -> "ExecutionBackend":
         return self
@@ -155,10 +295,34 @@ class ExecutionBackend:
     def prepare(self, shard: WorldShard) -> None:
         pass
 
+    def forget(self, shard_key: str) -> None:
+        """Drop any per-shard state (templates, affinity bindings)."""
+
     def run(
-        self, shard: WorldShard, query: str, params: dict | None, observer=None
+        self,
+        shard: WorldShard,
+        query: str,
+        params: dict | None,
+        observer=None,
+        excluded_workers: tuple[int, ...] = (),
     ) -> PipelineResult:
         raise NotImplementedError
+
+    def run_many(
+        self, items: list[tuple], excluded_workers: tuple[int, ...] = ()
+    ) -> list:
+        """Run ``(shard, query, params, observer)`` items; one outcome per
+        item, a :class:`PipelineResult` or the exception it raised."""
+        outcomes = []
+        for shard, query, params, observer in items:
+            try:
+                outcomes.append(
+                    self.run(shard, query, params, observer=observer,
+                             excluded_workers=excluded_workers)
+                )
+            except Exception as exc:
+                outcomes.append(exc)
+        return outcomes
 
     def stats(self) -> dict:
         return {"backend": self.name}
@@ -170,21 +334,55 @@ class ThreadPoolBackend(ExecutionBackend):
     name = "thread"
 
     def run(
-        self, shard: WorldShard, query: str, params: dict | None, observer=None
+        self,
+        shard: WorldShard,
+        query: str,
+        params: dict | None,
+        observer=None,
+        excluded_workers: tuple[int, ...] = (),
     ) -> PipelineResult:
         return shard.system.answer(query, params=params, observer=observer)
 
 
-class ProcessPoolBackend(ExecutionBackend):
-    """Ship jobs to a preforked pool of worker processes.
+class _WorkerSlot:
+    """Broker-side view of one worker process (an affinity slot).
 
-    The pool is created in :meth:`start` — which the broker calls *before*
-    its worker threads exist, so forking is safe — and each broker thread
-    then blocks on ``apply`` while its job runs out-of-process, keeping the
-    scheduler/ledger/retention logic identical across backends.
+    The slot survives its process: a crashed worker is respawned in place
+    with a bumped ``generation``, which lazily invalidates affinity
+    bindings and template-shipping state tied to the old process.
+    """
+
+    __slots__ = ("index", "generation", "process", "request_q",
+                 "templates_sent", "pending", "inflight")
+
+    def __init__(self, index: int):
+        self.index = index
+        self.generation = 0
+        self.process = None
+        self.request_q = None
+        self.templates_sent: set[str] = set()
+        self.pending: deque = deque()  # (job_id, shard_key, query, params)
+        self.inflight: set[int] = set()
+
+    def depth(self) -> int:
+        return len(self.pending) + len(self.inflight)
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Affinity-aware zero-copy execution plane over preforked processes.
+
+    Explicit worker processes (not a :class:`multiprocessing.Pool`): each
+    affinity slot owns a request queue, so the dispatcher controls *which*
+    process a job lands on — the whole point of sticky routing.  A sender
+    thread coalesces concurrent dispatches per slot into batched messages,
+    a collector thread drains one shared reply queue (decoding
+    shared-memory payloads, see :mod:`repro.serve.transport`), and a
+    monitor thread respawns dead workers and fails their in-flight jobs
+    with :class:`WorkerCrashed` so the broker can retry them elsewhere.
     """
 
     name = "process"
+    supports_batch = True
 
     def __init__(
         self,
@@ -192,69 +390,400 @@ class ProcessPoolBackend(ExecutionBackend):
         llm_factory=None,
         cache_entries: int = 4096,
         start_method: str | None = None,
+        affinity: bool = True,
+        steal_threshold: int = 2,
+        dispatch_batch: int = 8,
+        shm_min_bytes: int = transport.DEFAULT_SHM_MIN_BYTES,
     ):
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
+        if dispatch_batch < 1:
+            raise ValueError("dispatch_batch must be >= 1")
+        if steal_threshold < 0:
+            raise ValueError("steal_threshold must be >= 0")
         self.num_workers = num_workers
+        self.affinity_enabled = affinity
+        self.steal_threshold = steal_threshold
+        self.dispatch_batch = dispatch_batch
+        self.shm_min_bytes = shm_min_bytes
         self._llm_factory = llm_factory
         self._cache_entries = cache_entries
         self._start_method = start_method
-        self._pool = None
-        self._payloads: dict[str, JobPayload] = {}
-        self._proc_cache_stats: dict[int, dict] = {}
+        self._ctx = None
+        self._slots: list[_WorkerSlot] = []
+        self._templates: dict[str, JobPayload] = {}
+        self._affinity: OrderedDict[str, tuple[int, int, str]] = OrderedDict()
+        self._futures: dict[int, Future] = {}
+        self._job_ids = itertools.count(1)
+        self._reply_q = None
+        self._threads: list[threading.Thread] = []
         self._lock = threading.Lock()
+        self._work = threading.Condition(self._lock)
+        self._stop = threading.Event()
+        self._started = False
+        self._stopped = False
+        self._proc_cache_stats: dict[int, dict] = {}
+        self._counts = {
+            "hits": 0, "misses": 0, "steals": 0, "respawns": 0,
+            "batches": 0, "dispatched": 0,
+            "shm_results": 0, "shm_bytes": 0, "inline_results": 0,
+        }
+
+    # -- lifecycle ---------------------------------------------------------
 
     def start(self) -> "ProcessPoolBackend":
-        if self._pool is None:
-            method = self._start_method
-            if method is None:
-                available = multiprocessing.get_all_start_methods()
-                method = "fork" if "fork" in available else "spawn"
-            ctx = multiprocessing.get_context(method)
-            self._pool = ctx.Pool(processes=self.num_workers)
+        if self._started:
+            return self
+        method = self._start_method
+        if method is None:
+            available = multiprocessing.get_all_start_methods()
+            method = "fork" if "fork" in available else "spawn"
+        self._ctx = multiprocessing.get_context(method)
+        self._reply_q = self._ctx.SimpleQueue()
+        self._slots = [_WorkerSlot(i) for i in range(self.num_workers)]
+        for slot in self._slots:
+            self._spawn(slot)
+        # Prefork preload: every world registered before start is built in
+        # every worker now, so first jobs land on warm state instead of
+        # paying the world build inside a measured request.
+        if self._templates:
+            templates = dict(self._templates)
+            for slot in self._slots:
+                slot.templates_sent |= set(templates)
+                slot.request_q.put(("preload", templates))
+        self._threads = [
+            threading.Thread(target=loop, name=f"arachnet-plane-{label}", daemon=True)
+            for label, loop in (
+                ("sender", self._sender_loop),
+                ("collector", self._collector_loop),
+                ("monitor", self._monitor_loop),
+            )
+        ]
+        for thread in self._threads:
+            thread.start()
+        self._started = True
         return self
 
+    def _spawn(self, slot: _WorkerSlot) -> None:
+        self._prepare_slot(slot)
+        self._launch(slot)
+
+    def _prepare_slot(self, slot: _WorkerSlot) -> None:
+        """Reset a slot for a fresh process (callers hold the lock after
+        start).  Dispatch keeps working immediately: rows queued against the
+        new request queue wait in its pipe until the process comes up."""
+        slot.request_q = self._ctx.SimpleQueue()
+        slot.templates_sent = set()
+        slot.process = None
+
+    def _launch(self, slot: _WorkerSlot) -> None:
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(slot.index, slot.request_q, self._reply_q, self.shm_min_bytes),
+            name=f"arachnet-worker-{slot.index}",
+            daemon=True,
+        )
+        process.start()
+        slot.process = process
+
     def shutdown(self, wait: bool = True) -> None:
-        pool, self._pool = self._pool, None
-        if pool is None:
+        with self._lock:
+            if self._stopped or not self._started:
+                self._stopped = True
+                return
+            self._stopped = True
+            self._stop.set()
+            self._work.notify_all()
+        sender, collector, monitor = self._threads
+        sender.join(timeout=5)
+        for slot in self._slots:
+            slot.request_q.put(("stop",))
+        if not wait:
+            # Abandoning shutdown: nothing will run or collect the
+            # outstanding work, so fail its futures now rather than leave
+            # callers blocked on events that can never fire.
+            with self._lock:
+                futures, self._futures = self._futures, {}
+            for future in futures.values():
+                future.set_exception(BackendError("process backend shut down"))
             return
-        # Always close, never terminate: broker threads may still be blocked
-        # in apply(), and in-flight jobs are guaranteed to run to completion.
-        # ``wait=False`` skips the join — the pool drains those applies and
-        # its processes exit on their own.
-        pool.close()
-        if wait:
-            pool.join()
+        for slot in self._slots:
+            if slot.process is None:  # pragma: no cover - raced a respawn
+                continue
+            slot.process.join(timeout=15)
+            if slot.process.is_alive():  # pragma: no cover - stuck pipeline
+                slot.process.terminate()
+                slot.process.join(timeout=5)
+        monitor.join(timeout=5)
+        self._reply_q.put(("stop",))
+        collector.join(timeout=15)
+        # Fail anything still outstanding so no claimer thread hangs forever.
+        with self._lock:
+            futures, self._futures = self._futures, {}
+        for future in futures.values():
+            future.set_exception(BackendError("process backend shut down"))
+
+    def kill_worker(self, index: int) -> None:
+        """Fault injection for tests: hard-kill one worker process."""
+        self._slots[index].process.kill()
+
+    # -- shard registration ------------------------------------------------
 
     def prepare(self, shard: WorldShard) -> None:
-        self._payloads[shard.key] = self._template_for(shard)
+        self._templates[shard.key] = self._template_for(shard)
+
+    def forget(self, shard_key: str) -> None:
+        with self._lock:
+            self._templates.pop(shard_key, None)
+            stale = [k for k, (_, _, owner) in self._affinity.items()
+                     if owner == shard_key]
+            for key in stale:
+                del self._affinity[key]
+            slots = [
+                slot for slot in self._slots
+                if slot.request_q is not None and shard_key in slot.templates_sent
+            ]
+            for slot in slots:
+                slot.templates_sent.discard(shard_key)
+        for slot in slots:
+            slot.request_q.put(("forget", shard_key))
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _affinity_key(self, shard: WorldShard, query: str,
+                      params: dict | None) -> str:
+        material = "\x00".join((
+            shard.key,
+            shard.world.fingerprint(),
+            query,
+            json.dumps(params, sort_keys=True, default=str) if params else "",
+        ))
+        return hashlib.blake2b(material.encode("utf-8"), digest_size=16).hexdigest()
+
+    def _choose_slot(self, key: str | None, shard_key: str,
+                     excluded: tuple[int, ...]) -> _WorkerSlot:
+        """Sticky slot for ``key``, stolen by an idle slot when the bound
+        one is backlogged; least-loaded assignment on first sight."""
+        eligible = [s for s in self._slots if s.index not in excluded]
+        if not eligible:  # excluding every slot would deadlock the retry
+            eligible = self._slots
+        if key is not None:
+            bound = self._affinity.get(key)
+            if bound is not None:
+                index, generation, _ = bound
+                slot = self._slots[index]
+                if slot.generation == generation and index not in excluded:
+                    idle = [s for s in eligible
+                            if s.index != index and s.depth() == 0]
+                    if slot.depth() > self.steal_threshold and idle:
+                        thief = idle[0]
+                        self._counts["steals"] += 1
+                        self._affinity[key] = (thief.index, thief.generation,
+                                               shard_key)
+                        self._affinity.move_to_end(key)
+                        return thief
+                    self._counts["hits"] += 1
+                    self._affinity.move_to_end(key)
+                    return slot
+        self._counts["misses"] += 1
+        slot = min(eligible, key=lambda s: (s.depth(), s.index))
+        if key is not None:
+            self._affinity[key] = (slot.index, slot.generation, shard_key)
+            self._affinity.move_to_end(key)
+            while len(self._affinity) > AFFINITY_MAP_BOUND:
+                self._affinity.popitem(last=False)
+        return slot
+
+    def _dispatch(self, shard: WorldShard, query: str, params: dict | None,
+                  excluded: tuple[int, ...] = ()) -> Future:
+        if not self._started or self._stopped:
+            raise BackendError("process backend is not started")
+        if shard.key not in self._templates:
+            self._templates[shard.key] = self._template_for(shard)
+        key = (
+            self._affinity_key(shard, query, params)
+            if self.affinity_enabled else None
+        )
+        future = Future()
+        with self._lock:
+            slot = self._choose_slot(key, shard.key, excluded)
+            job_id = next(self._job_ids)
+            self._futures[job_id] = future
+            slot.pending.append((job_id, shard.key, query, params))
+            self._counts["dispatched"] += 1
+            self._work.notify_all()
+        return future
 
     def run(
-        self, shard: WorldShard, query: str, params: dict | None, observer=None
+        self,
+        shard: WorldShard,
+        query: str,
+        params: dict | None,
+        observer=None,
+        excluded_workers: tuple[int, ...] = (),
     ) -> PipelineResult:
-        if self._pool is None:
-            raise BackendError("process backend is not started")
-        template = self._payloads.get(shard.key)
-        if template is None:
-            template = self._template_for(shard)
-            self._payloads[shard.key] = template
-        payload = dataclasses.replace(template, query=query, params=params)
-        result, meta = self._pool.apply(_process_execute, (payload,))
-        with self._lock:
-            self._proc_cache_stats[meta["pid"]] = meta["cache"]
-        if observer is not None:
-            # Traces travelled back inside the result; replay them.  (A job
-            # that raised worker-side surfaces as an exception from apply —
-            # its partial trace does not cross the process boundary.)
-            for trace in result.stage_trace:
-                observer(trace)
+        result = self._dispatch(shard, query, params, excluded_workers).result()
+        self._replay(result, observer)
         return result
 
+    def run_many(
+        self, items: list[tuple], excluded_workers: tuple[int, ...] = ()
+    ) -> list:
+        """Dispatch the whole batch before waiting on any of it — one
+        claiming thread keeps every worker process busy, and same-slot
+        items coalesce into single queue messages."""
+        futures = [
+            self._dispatch(shard, query, params, excluded_workers)
+            for shard, query, params, _ in items
+        ]
+        outcomes = []
+        for future, (_, _, _, observer) in zip(futures, items):
+            try:
+                result = future.result()
+                self._replay(result, observer)
+                outcomes.append(result)
+            except Exception as exc:
+                outcomes.append(exc)
+        return outcomes
+
+    @staticmethod
+    def _replay(result: PipelineResult, observer) -> None:
+        if observer is not None:
+            # Traces travelled back inside the result; replay them.  (A job
+            # that raised worker-side surfaces as an exception — its partial
+            # trace does not cross the process boundary.)
+            for trace in result.stage_trace:
+                observer(trace)
+
+    # -- plane threads -----------------------------------------------------
+
+    def _sender_loop(self) -> None:
+        while True:
+            sends = []
+            with self._work:
+                while not self._stop.is_set() and not any(
+                    slot.pending for slot in self._slots
+                ):
+                    self._work.wait(0.1)
+                if self._stop.is_set():
+                    return
+                for slot in self._slots:
+                    if not slot.pending:
+                        continue
+                    rows = [
+                        slot.pending.popleft()
+                        for _ in range(min(len(slot.pending), self.dispatch_batch))
+                    ]
+                    needed = {row[1] for row in rows} - slot.templates_sent
+                    templates = {k: self._templates[k] for k in needed
+                                 if k in self._templates}
+                    # Record only what actually ships: a template missing
+                    # here (shard forgotten mid-dispatch) must not poison
+                    # the slot for a later re-registration of the shard.
+                    slot.templates_sent |= set(templates)
+                    for row in rows:
+                        slot.inflight.add(row[0])
+                    self._counts["batches"] += 1
+                    sends.append((slot.request_q, ("batch", templates, rows)))
+            for queue, message in sends:
+                queue.put(message)
+
+    def _collector_loop(self) -> None:
+        while True:
+            message = self._reply_q.get()
+            kind = message[0]
+            if kind == "stop":
+                return
+            if kind == "preloaded":
+                with self._lock:
+                    self._proc_cache_stats.setdefault(message[2], None)
+                continue
+            _, index, rows = message  # ("done", slot index, result rows)
+            slot = self._slots[index]
+            for job_id, ok, blob, meta in rows:
+                with self._lock:
+                    slot.inflight.discard(job_id)
+                    future = self._futures.pop(job_id, None)
+                    if meta is not None:
+                        self._proc_cache_stats[meta["pid"]] = meta["cache"]
+                    if ok:
+                        if blob[0] == "shm":
+                            self._counts["shm_results"] += 1
+                            self._counts["shm_bytes"] += (
+                                blob[2] + sum(blob[3])
+                            )
+                        else:
+                            self._counts["inline_results"] += 1
+                if future is None:
+                    if ok:  # nobody will decode it; reclaim the segment
+                        transport.release(blob)
+                    continue
+                if ok:
+                    try:
+                        future.set_result(transport.decode(blob))
+                    except Exception as exc:  # pragma: no cover - defensive
+                        future.set_exception(BackendError(
+                            f"failed to decode worker result: {exc}"
+                        ))
+                else:
+                    future.set_exception(_decode_exception(blob))
+
+    def _monitor_loop(self) -> None:
+        while not self._stop.is_set():
+            with self._lock:
+                # Every spawned process, alive or not: a worker that died
+                # between two wait windows has a ready sentinel and MUST
+                # still be handled, or its in-flight jobs hang forever.
+                sentinels = {
+                    slot.process.sentinel: slot
+                    for slot in self._slots
+                    if slot.process is not None
+                }
+            if not sentinels:
+                if self._stop.wait(0.1):
+                    return
+                continue
+            ready = connection.wait(list(sentinels), timeout=0.2)
+            for sentinel in ready:
+                slot = sentinels[sentinel]
+                crashed: list[Future] = []
+                with self._lock:
+                    if (self._stopped or slot.process is None
+                            or slot.process.sentinel != sentinel):
+                        continue
+                    if slot.process.is_alive():  # pragma: no cover - raced
+                        continue
+                    # In-flight jobs died with the process; pending (unsent)
+                    # rows survive in the slot and reach the replacement.
+                    for job_id in sorted(slot.inflight):
+                        future = self._futures.pop(job_id, None)
+                        if future is not None:
+                            crashed.append(future)
+                    slot.inflight.clear()
+                    slot.generation += 1
+                    self._counts["respawns"] += 1
+                    self._prepare_slot(slot)
+                    self._work.notify_all()
+                # Fork outside the lock so process creation never stalls
+                # dispatch/collection.  Forking here, after threads exist,
+                # mirrors multiprocessing.Pool's own worker repopulation:
+                # safe because the child only touches the fresh request
+                # queue and the cross-process (semaphore-backed) reply
+                # queue, never broker-side thread state.
+                self._launch(slot)
+                for future in crashed:
+                    future.set_exception(WorkerCrashed(slot.index))
+
+    # -- introspection -----------------------------------------------------
+
     def stats(self) -> dict:
-        """Aggregate per-process artifact-cache economics (last seen per pid)."""
+        """Affinity economics, dispatch batching, transport mix, and
+        aggregated per-process artifact-cache stats (last seen per pid)."""
         with self._lock:
+            counts = dict(self._counts)
             snapshots = [s for s in self._proc_cache_stats.values() if s]
             processes = len(self._proc_cache_stats)
+            bindings = len(self._affinity)
         merged = None
         if snapshots:
             merged = {
@@ -265,11 +794,32 @@ class ProcessPoolBackend(ExecutionBackend):
             }
             total = merged["hits"] + merged["misses"]
             merged["hit_rate"] = merged["hits"] / total if total else 0.0
+        routed = counts["hits"] + counts["misses"] + counts["steals"]
         return {
             "backend": self.name,
             "workers": self.num_workers,
             "processes": processes,
             "cache": merged,
+            "affinity": {
+                "enabled": self.affinity_enabled,
+                "hits": counts["hits"],
+                "misses": counts["misses"],
+                "steals": counts["steals"],
+                "hit_rate": counts["hits"] / routed if routed else 0.0,
+                "bindings": bindings,
+                "respawns": counts["respawns"],
+            },
+            "dispatch": {
+                "jobs": counts["dispatched"],
+                "batches": counts["batches"],
+                "mean_batch": (
+                    counts["dispatched"] / counts["batches"]
+                    if counts["batches"] else 0.0
+                ),
+                "shm_results": counts["shm_results"],
+                "shm_bytes": counts["shm_bytes"],
+                "inline_results": counts["inline_results"],
+            },
         }
 
     def _template_for(self, shard: WorldShard) -> JobPayload:
@@ -314,6 +864,10 @@ def build_backend(
     num_workers: int = 4,
     llm_factory=None,
     cache_entries: int = 4096,
+    affinity: bool = True,
+    steal_threshold: int = 2,
+    dispatch_batch: int = 8,
+    shm_min_bytes: int = transport.DEFAULT_SHM_MIN_BYTES,
 ) -> ExecutionBackend:
     """Backend factory for :class:`ServeConfig.backend` names."""
     if name == "thread":
@@ -323,5 +877,9 @@ def build_backend(
             num_workers=num_workers,
             llm_factory=llm_factory,
             cache_entries=cache_entries,
+            affinity=affinity,
+            steal_threshold=steal_threshold,
+            dispatch_batch=dispatch_batch,
+            shm_min_bytes=shm_min_bytes,
         )
     raise BackendError(f"unknown backend {name!r}; expected one of {BACKEND_NAMES}")

@@ -17,7 +17,7 @@ from typing import Callable
 
 from repro.core.artifacts import PipelineResult
 from repro.core.registry import Registry
-from repro.serve.backends import build_backend
+from repro.serve.backends import WorkerCrashed, build_backend
 from repro.serve.cache import ArtifactCache
 from repro.serve.provenance import ProvenanceLedger
 from repro.serve.scheduler import PriorityScheduler, SchedulerClosed, WorldShard
@@ -48,6 +48,19 @@ class ServeConfig:
     backend: str = "thread"
     cache_enabled: bool = True
     max_cache_entries: int = 4096
+    #: Sticky affinity routing for the process backend: resubmissions of a
+    #: (world, query) pair land on the worker process whose caches already
+    #: hold it warm.  Disable to spread purely by load.
+    affinity: bool = True
+    #: Queue depth on a job's bound worker beyond which an idle worker
+    #: steals the job (and its affinity binding) instead of waiting.
+    steal_threshold: int = 2
+    #: Jobs a claimer thread batches into one backend dispatch (process
+    #: backend only; the thread backend runs one job per claimer).
+    dispatch_batch: int = 8
+    #: Results at or above this many pickled bytes move through
+    #: multiprocessing.shared_memory instead of the reply pipe.
+    shm_min_bytes: int = 64 * 1024
     curate: bool = False  # registry evolution is opt-in while serving
     #: Finished jobs (and their ledger entries) beyond this bound are pruned
     #: oldest-first so a long-running broker cannot grow without limit.
@@ -120,10 +133,22 @@ class QueryBroker:
             cache_entries=(
                 self.config.max_cache_entries if self.config.cache_enabled else 0
             ),
+            affinity=self.config.affinity,
+            steal_threshold=self.config.steal_threshold,
+            dispatch_batch=self.config.dispatch_batch,
+            shm_min_bytes=self.config.shm_min_bytes,
         )
         self._scheduler = PriorityScheduler()
         self._pool = WorkerPool(
-            self._scheduler, self._run_job, num_workers=self.config.workers
+            self._scheduler,
+            self._run_job,
+            num_workers=self.config.workers,
+            batch_handler=self._run_jobs,
+            # Batched claiming only pays when the backend overlaps the batch
+            # across its own workers; a thread claimer runs jobs serially.
+            claim_batch=(
+                self.config.dispatch_batch if self.backend.supports_batch else 1
+            ),
         )
         self._shards: dict[str, WorldShard] = {}
         self._jobs: dict[str, Job] = {}  # insertion-ordered: oldest first
@@ -198,6 +223,31 @@ class QueryBroker:
             self.backend.prepare(shard)
             self._shards[key] = shard
             return shard
+
+    def remove_world(self, key: str) -> None:
+        """Deregister a world shard and drop the backend's per-shard state.
+
+        Only idle worlds can be removed: a shard with queued or running
+        jobs raises, because those tickets would otherwise fail with an
+        unknown world key mid-flight.  Long-lived epoch-shard populations
+        (see :class:`~repro.live.standing.StandingQueryManager`) use this
+        to bound their footprint.
+        """
+        with self._lock:
+            if key not in self._shards:
+                raise BrokerError(f"unknown world key {key!r}")
+            busy = [
+                job.ticket for job in self._jobs.values()
+                if job.world_key == key
+                and job.state in (JobState.QUEUED, JobState.RUNNING)
+            ]
+            if busy:
+                raise BrokerError(
+                    f"world {key!r} still has {len(busy)} active job(s); "
+                    "wait for them before removing it"
+                )
+            del self._shards[key]
+        self.backend.forget(key)
 
     def shard(self, key: str = DEFAULT_WORLD_KEY) -> WorldShard:
         with self._lock:
@@ -321,36 +371,74 @@ class QueryBroker:
     # -- the worker-side job runner ---------------------------------------
 
     def _run_job(self, job: Job, worker_name: str) -> None:
-        with self._lock:
-            if job.state is not JobState.QUEUED:
-                return  # cancelled while queued; the canceller already settled it
-            job.state = JobState.RUNNING
-        shard = self.shard(job.world_key)
-        provenance = self.ledger.get(job.ticket)
-        self.ledger.mark_started(job.ticket, worker_name)
-        try:
-            result = self.backend.run(
-                shard, job.query, job.params, observer=provenance.observer()
+        self._run_jobs([job], worker_name)
+
+    def _run_jobs(self, jobs: list[Job], worker_name: str) -> None:
+        """Run a claimed batch through the backend and settle every job.
+
+        The whole batch is dispatched before any result is awaited (see
+        ``ExecutionBackend.run_many``), so one claimer thread keeps a
+        process pool saturated.  A job whose worker process died in flight
+        is resubmitted exactly once, excluding the failed worker's affinity
+        slot, before being marked FAILED.
+        """
+        claimed: list[Job] = []
+        items = []
+        for job in jobs:
+            with self._lock:
+                if job.state is not JobState.QUEUED:
+                    continue  # cancelled while queued; the canceller settled it
+                job.state = JobState.RUNNING
+            try:
+                provenance = self.ledger.get(job.ticket)
+                self.ledger.mark_started(job.ticket, worker_name)
+                items.append((self.shard(job.world_key), job.query, job.params,
+                              provenance.observer()))
+            except Exception as exc:
+                # E.g. the world was removed after submit validated it; the
+                # job must still settle or waiters hang and the claimer dies.
+                self._settle(job, exc)
+                continue
+            claimed.append(job)
+        if not claimed:
+            return
+        outcomes = self.backend.run_many(items)
+        crashed = [i for i, out in enumerate(outcomes)
+                   if isinstance(out, WorkerCrashed)]
+        if crashed:
+            # One retry per job, redispatched as a batch so the surviving
+            # workers overlap the retries the way they did the originals.
+            excluded = tuple({outcomes[i].worker_index for i in crashed})
+            for index in crashed:
+                self.ledger.mark_retried(claimed[index].ticket)
+            retried = self.backend.run_many(
+                [items[i] for i in crashed], excluded_workers=excluded
             )
-        except Exception as exc:  # a failed job must never take a worker down
-            job.error = f"{type(exc).__name__}: {exc}"
+            for index, outcome in zip(crashed, retried):
+                outcomes[index] = outcome
+        for job, outcome in zip(claimed, outcomes):
+            self._settle(job, outcome)
+
+    def _settle(self, job: Job, outcome) -> None:
+        if isinstance(outcome, Exception):
+            # A failed job must never take a worker down.
+            job.error = f"{type(outcome).__name__}: {outcome}"
             job.state = JobState.FAILED
             self.ledger.mark_finished(job.ticket, "failed", job.error)
         else:
-            job.result = result
-            if result.execution.succeeded:
+            job.result = outcome
+            if outcome.execution.succeeded:
                 job.state = JobState.DONE
                 self.ledger.mark_finished(job.ticket, "done")
             else:
-                job.error = result.execution.error
+                job.error = outcome.execution.error
                 job.state = JobState.FAILED
                 self.ledger.mark_finished(job.ticket, "failed", job.error)
-        finally:
-            with self._lock:
-                key = "done" if job.state is JobState.DONE else "failed"
-                self._finished_total[key] += 1
-            job.done.set()
-            self._prune_finished()
+        with self._lock:
+            key = "done" if job.state is JobState.DONE else "failed"
+            self._finished_total[key] += 1
+        job.done.set()
+        self._prune_finished()
 
     def _prune_finished(self) -> None:
         """Drop the oldest finished jobs beyond the retention bound.

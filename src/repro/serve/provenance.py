@@ -60,6 +60,8 @@ class JobProvenance:
     finished_at: float = 0.0
     status: str = "queued"
     error: str = ""
+    #: Times the job was resubmitted after its worker process died.
+    retries: int = 0
     stages: list[StageRecord] = field(default_factory=list)
 
     @property
@@ -96,6 +98,7 @@ class JobProvenance:
             "finished_at": self.finished_at,
             "status": self.status,
             "error": self.error,
+            "retries": self.retries,
             "queue_delay_s": self.queue_delay_s,
             "run_duration_s": self.run_duration_s,
             "stages": [s.to_dict() for s in self.stages],
@@ -144,6 +147,10 @@ class ProvenanceLedger:
         entry.started_at = self.now()
         entry.status = "running"
 
+    def mark_retried(self, job_id: str) -> None:
+        """The job's worker died mid-flight and it was resubmitted."""
+        self.get(job_id).retries += 1
+
     def mark_finished(self, job_id: str, status: str, error: str = "") -> None:
         entry = self.get(job_id)
         entry.finished_at = self.now()
@@ -170,6 +177,7 @@ class ProvenanceLedger:
             "jobs": len(jobs),
             "finished": len(finished),
             "failed": sum(1 for j in jobs if j.status == "failed"),
+            "retried": sum(j.retries for j in jobs),
             "mean_queue_delay_s": (
                 sum(j.queue_delay_s for j in finished) / len(finished) if finished else 0.0
             ),

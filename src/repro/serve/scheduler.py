@@ -105,6 +105,22 @@ class PriorityScheduler:
             self._per_shard[shard] -= 1
             return item
 
+    def pop_batch(self, limit: int) -> list[Any]:
+        """Up to ``limit`` more jobs without blocking, in priority order.
+
+        Claimers use this after a successful :meth:`pop` to coalesce queued
+        work into one batched backend dispatch; an empty queue returns an
+        empty list immediately.
+        """
+        items: list[Any] = []
+        with self._cond:
+            while self._heap and len(items) < limit:
+                _, _, shard, item = heapq.heappop(self._heap)
+                self._popped += 1
+                self._per_shard[shard] -= 1
+                items.append(item)
+        return items
+
     def close(self) -> None:
         """Refuse new work and wake every blocked consumer."""
         with self._cond:

@@ -22,11 +22,22 @@ from repro.serve.scheduler import PriorityScheduler
 #: handler's to record.
 JobHandler = Callable[[Any, str], None]
 
+#: ``batch_handler(items, worker_name)`` — same contract over a claimed batch.
+BatchHandler = Callable[[list, str], None]
+
 _POLL_INTERVAL_S = 0.05
 
 
 class WorkerPool:
-    """A ``ThreadPoolExecutor``-backed pool of scheduler consumers."""
+    """A ``ThreadPoolExecutor``-backed pool of scheduler consumers.
+
+    With ``claim_batch > 1`` and a ``batch_handler``, a claimer that pops a
+    job opportunistically drains up to ``claim_batch - 1`` more without
+    blocking and hands the whole batch over in one call — the process
+    backend fans a batch across every worker process at once, so one
+    claiming thread can keep the entire pool busy and same-worker jobs
+    coalesce into single IPC messages.
+    """
 
     def __init__(
         self,
@@ -34,11 +45,17 @@ class WorkerPool:
         handler: JobHandler,
         num_workers: int = 4,
         name: str = "arachnet-serve",
+        batch_handler: BatchHandler | None = None,
+        claim_batch: int = 1,
     ):
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
+        if claim_batch < 1:
+            raise ValueError("claim_batch must be >= 1")
         self._scheduler = scheduler
         self._handler = handler
+        self._batch_handler = batch_handler
+        self.claim_batch = claim_batch
         self.num_workers = num_workers
         self._name = name
         self._stop = threading.Event()
@@ -101,10 +118,16 @@ class WorkerPool:
                 if self._should_exit() or self._scheduler.closed:
                     return
                 continue
+            items = [item]
+            if self._batch_handler is not None and self.claim_batch > 1:
+                items.extend(self._scheduler.pop_batch(self.claim_batch - 1))
             with self._active_lock:
-                self._active += 1
+                self._active += len(items)
             try:
-                self._handler(item, worker_name)
+                if self._batch_handler is not None:
+                    self._batch_handler(items, worker_name)
+                else:
+                    self._handler(item, worker_name)
             finally:
                 with self._active_lock:
-                    self._active -= 1
+                    self._active -= len(items)

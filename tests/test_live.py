@@ -330,7 +330,9 @@ def test_standing_manager_caches_by_fingerprint(world):
         stats = manager.stats()
         assert stats == {
             "registered": 1, "evaluations": 2, "cache_hits": 1,
-            "submitted": 1, "cancelled": 0, "outstanding": 0, "hit_rate": 0.5,
+            "submitted": 1, "cancelled": 0, "epoch_shards": 0,
+            "max_epoch_shards": 8, "shards_evicted": 0,
+            "outstanding": 0, "hit_rate": 0.5,
         }
         cache_stats = broker.stats()["cache"]["per_stage"]["standing"]
         assert cache_stats == {"hits": 1, "misses": 1}
