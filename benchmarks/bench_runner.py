@@ -1,10 +1,12 @@
-"""Benchmark runner + regression gate for the serve/routing hot paths.
+"""Benchmark runner + regression gate for the serve/routing/forensic hot paths.
 
-Runs the serve-throughput and incremental-routing benchmarks (each writes
-its ``BENCH_*.json``), then gates the combined results against the
-committed floor in ``benchmarks/bench_baseline.json`` — warm-cache hit
-rate, worker/backends speedups and convergence speedups must not regress
-below it.  CI runs this as a smoke step; a failing gate fails the build.
+Runs the serve-throughput, incremental-routing and forensic-loop
+benchmarks (each writes its ``BENCH_*.json``), then gates the combined
+results against the committed floor in ``benchmarks/bench_baseline.json``
+— warm-cache hit rate, worker/backends speedups, convergence speedups and
+the closed-loop forensic guarantees (one completed case per incident,
+warm replays submitting nothing) must not regress below it.  CI runs this
+as a smoke step; a failing gate fails the build.
 
 Usage::
 
@@ -19,12 +21,14 @@ import json
 import os
 import sys
 
+import bench_forensic_loop
 import bench_incremental_routing
 import bench_serve_throughput
 
 BASELINE_PATH = os.path.join(os.path.dirname(__file__), "bench_baseline.json")
 SERVE_OUT = "BENCH_serve.json"
 ROUTING_OUT = "BENCH_routing.json"
+FORENSIC_OUT = "BENCH_forensic_loop.json"
 
 
 def _gate(checks: list[tuple[str, bool, str]]) -> bool:
@@ -47,17 +51,22 @@ def main(argv: list[str] | None = None) -> int:
 
     serve_args = ["--no-assert", "--out", SERVE_OUT]
     routing_args = ["--no-assert", "--out", ROUTING_OUT]
+    forensic_args = ["--no-assert", "--out", FORENSIC_OUT]
     if args.smoke:
         serve_args.append("--smoke")
         routing_args.extend(["--repeats", "2"])
+        forensic_args.append("--smoke")
 
     bench_serve_throughput.main(serve_args)
     bench_incremental_routing.main(routing_args)
+    bench_forensic_loop.main(forensic_args)
 
     with open(SERVE_OUT, encoding="utf-8") as handle:
         serve = json.load(handle)
     with open(ROUTING_OUT, encoding="utf-8") as handle:
         routing = json.load(handle)
+    with open(FORENSIC_OUT, encoding="utf-8") as handle:
+        forensic = json.load(handle)
 
     if args.no_gate:
         return 0
@@ -65,6 +74,7 @@ def main(argv: list[str] | None = None) -> int:
     with open(args.baseline, encoding="utf-8") as handle:
         base = json.load(handle)
     sbase, rbase = base["serve"], base["routing"]
+    fbase = base["forensic"]
     cores = serve.get("cores", bench_serve_throughput.available_cores())
 
     print(f"\n=== regression gate vs {os.path.relpath(args.baseline)} ===")
@@ -92,6 +102,29 @@ def main(argv: list[str] | None = None) -> int:
         ("routing serve-burst speedup",
          routing["serve_speedup"] >= rbase["min_serve_speedup"],
          f"{routing['serve_speedup']:.2f}x (floor {rbase['min_serve_speedup']}x)"),
+        ("forensic case per incident",
+         forensic["incident_case_rate"] >= fbase["min_incident_case_rate"]
+         and forensic["cases"] == forensic["incidents"],
+         f"{forensic['cases']} deduped cases / {forensic['incidents']} "
+         "incidents (must be exactly one each)"),
+        ("forensic completion",
+         forensic["completed_rate"] >= fbase["min_completed_rate"],
+         f"{forensic['completed_rate']:.0%} triggered queries completed "
+         f"(floor {fbase['min_completed_rate']:.0%})"),
+        ("forensic verdict accuracy",
+         forensic["confirmed_rate"] >= fbase["min_confirmed_rate"],
+         f"{forensic['confirmed_rate']:.0%} verdicts name a ground-truth "
+         f"cable (floor {fbase['min_confirmed_rate']:.0%})"),
+        ("forensic alert latency",
+         forensic["mean_alert_latency_epochs"] is not None
+         and forensic["mean_alert_latency_epochs"] <= fbase["max_alert_latency_epochs"],
+         f"{forensic['mean_alert_latency_epochs']} epochs mean alert lag "
+         f"(ceiling {fbase['max_alert_latency_epochs']}; None = no cases opened)"),
+        ("forensic warm economics",
+         forensic["warm_trigger_hit_rate"] >= fbase["min_warm_trigger_hit_rate"],
+         f"{forensic['warm_trigger_hit_rate']:.0%} warm triggered-query "
+         f"cache hits (floor {fbase['min_warm_trigger_hit_rate']:.0%}; "
+         f"{forensic['warm_queries_submitted']} warm submissions)"),
     ]
     if cores >= 2:
         checks.append((

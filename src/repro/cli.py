@@ -97,6 +97,14 @@ def build_parser() -> argparse.ArgumentParser:
     live.add_argument("--max-epoch-shards", type=int, default=8, metavar="N",
                       help="evolved-world shards retained for standing "
                            "queries before LRU eviction (default 8)")
+    live.add_argument("--forensics", action="store_true",
+                      help="close the loop: detector alerts spawn "
+                           "high-priority forensic queries whose verdicts "
+                           "are scored against the timeline's ground truth")
+    live.add_argument("--concurrent-events", type=int, default=0, metavar="N",
+                      help="replay N overlapping catalog disasters with "
+                           "disjoint cable footprints instead of the single "
+                           "canonical cable cut (default 0 = single cut)")
     return parser
 
 
@@ -244,11 +252,14 @@ def run_serve(args, world, registry, incidents, stream=None) -> int:
 
 def run_live(args, world, registry) -> int:
     """--live: replay a scenario timeline with streams, detectors and
-    standing queries; ``--incident CABLE`` picks the cable the timeline cuts."""
+    standing queries; ``--incident CABLE`` picks the cable the timeline
+    cuts, ``--concurrent-events N`` superimposes N catalog disasters, and
+    ``--forensics`` arms the alert-triggered forensic loop."""
     from repro.live import (
         LiveConfig,
         default_cable_cut_timeline,
         default_cut_epoch,
+        overlapping_catalog_timeline,
         run_live_replay,
     )
 
@@ -262,12 +273,33 @@ def run_live(args, world, registry) -> int:
         cache_enabled=not args.no_cache,
         cache_dir=_effective_cache_dir(args),
         max_epoch_shards=args.max_epoch_shards,
+        forensics=args.forensics,
     )
-    timeline = default_cable_cut_timeline(
-        world,
-        cable_name=args.incident,
-        cut_epoch=default_cut_epoch(args.epochs),
-    )
+    if args.concurrent_events:
+        try:
+            timeline = overlapping_catalog_timeline(
+                world, count=args.concurrent_events
+            )
+        except ValueError as exc:
+            # Catalog too small for N disjoint events, or windows that
+            # cannot overlap — surface the builder's own diagnostic.
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        # A replay that ends before the last fire can never detect it —
+        # fail loudly up front rather than exiting 1 with no diagnostic.
+        last_fire = max(item.start_epoch for item in timeline)
+        if args.epochs <= last_fire:
+            print(f"error: --concurrent-events {args.concurrent_events} "
+                  f"schedules the last disaster at epoch {last_fire}; "
+                  f"--epochs must be at least {last_fire + 1} "
+                  f"(got {args.epochs})", file=sys.stderr)
+            return 2
+    else:
+        timeline = default_cable_cut_timeline(
+            world,
+            cable_name=args.incident,
+            cut_epoch=default_cut_epoch(args.epochs),
+        )
     report = run_live_replay(world=world, timeline_events=timeline,
                              config=config, registry=registry)
 
@@ -297,9 +329,34 @@ def run_live(args, world, registry) -> int:
                   f"{rstats['misses']} misses; incremental re-convergence "
                   f"shared {rstats['peers_shared']} peer tables, "
                   f"recomputed {rstats['peers_recomputed']}")
+        for case in report.forensic_cases:
+            lat = case["verdict_latency_s"]
+            print(f"forensic:  {case['case_id']} {case['event_id'] or '?'} "
+                  f"alert {case['alert_kind']}@{case['alert_epoch']} -> "
+                  f"{case['verdict']} ({case['identified_cable'] or 'no cable'}) "
+                  f"in {case['queries_run']} quer"
+                  f"{'y' if case['queries_run'] == 1 else 'ies'}"
+                  + (f", {lat:.2f}s" if lat is not None else ""))
+        fstats = report.forensic_stats
+        if fstats:
+            print(f"trigger:   {fstats['alerts_seen']} alerts -> "
+                  f"{fstats['cases_opened']} cases "
+                  f"({fstats['alerts_merged']} merged, "
+                  f"{fstats['suppressed_threshold']} below threshold); "
+                  f"{fstats['queries_submitted']} queries submitted, "
+                  f"{fstats['query_cache_hits']} cache hits, "
+                  f"{fstats['escalations']} corridor escalations")
         if report.cache_file:
             print(f"cache:     spilled to {report.cache_file}")
-    return 0 if report.detected_incidents == len(report.incident_epochs) else 1
+    ok = report.detected_incidents == len(report.incident_epochs)
+    if args.forensics:
+        # The closed loop succeeded only if every incident produced its
+        # one deduped case and every triggered query completed — zero
+        # cases is a silent failure, not a vacuous success.
+        ok = (ok
+              and len(report.forensic_cases) == len(report.incident_epochs)
+              and report.completed_cases == len(report.forensic_cases))
+    return 0 if ok else 1
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -332,6 +389,9 @@ def main(argv: list[str] | None = None) -> int:
             if args.epochs < 1 or args.pace_ms < 0:
                 print("error: --epochs must be >= 1 and --pace-ms >= 0",
                       file=sys.stderr)
+                return 2
+            if args.concurrent_events < 0:
+                print("error: --concurrent-events must be >= 0", file=sys.stderr)
                 return 2
             return run_live(args, world, registry)
         if args.batch:

@@ -21,6 +21,8 @@ from repro.live.clock import (
     SimulationClock,
     TimelineEvent,
     WorldTimeline,
+    compose_fingerprint,
+    overlapping_catalog_timeline,
     timeline_from_catalog,
 )
 from repro.live.detectors import (
@@ -28,6 +30,14 @@ from repro.live.detectors import (
     BGPBurstDetector,
     DetectorBank,
     RTTChangeDetector,
+)
+from repro.live.forensics import (
+    DEFAULT_TRIGGER_TEMPLATES,
+    FORENSIC_PRIORITY,
+    FORENSIC_STAGE,
+    ForensicCase,
+    ForensicTrigger,
+    TriggerPolicy,
 )
 from repro.live.driver import (
     FORENSIC_STANDING_QUERY,
@@ -39,6 +49,7 @@ from repro.live.driver import (
 )
 from repro.live.standing import (
     STANDING_STAGE,
+    EpochShardPool,
     StandingQuery,
     StandingQueryManager,
     StandingResult,
@@ -57,10 +68,16 @@ __all__ = [
     "BGPBurstDetector",
     "BGPFeed",
     "BGP_TOPIC",
+    "DEFAULT_TRIGGER_TEMPLATES",
     "DetectorBank",
+    "EpochShardPool",
     "EpochState",
     "EventBus",
+    "FORENSIC_PRIORITY",
+    "FORENSIC_STAGE",
     "FORENSIC_STANDING_QUERY",
+    "ForensicCase",
+    "ForensicTrigger",
     "LiveConfig",
     "LiveReport",
     "RTTChangeDetector",
@@ -73,9 +90,12 @@ __all__ = [
     "TRACEROUTE_TOPIC",
     "TimelineEvent",
     "TracerouteFeed",
+    "TriggerPolicy",
     "WorldTimeline",
+    "compose_fingerprint",
     "default_cable_cut_timeline",
     "default_cut_epoch",
+    "overlapping_catalog_timeline",
     "run_live_replay",
     "timeline_from_catalog",
 ]

@@ -26,6 +26,19 @@ from repro.xaminer.events import event_footprint
 from repro.xaminer.failures import simulate_failures
 
 
+def compose_fingerprint(world_fingerprint: str, failed_links) -> str:
+    """Deterministic configuration fingerprint over a failed-link set.
+
+    Shared by :class:`WorldTimeline` (full epoch configurations) and the
+    forensic trigger plane (per-episode deltas), so an episode that *is*
+    the whole configuration — the first disaster of a quiet timeline —
+    hashes to the same fingerprint as the epoch itself and its broker
+    shard is shared rather than duplicated.
+    """
+    material = f"{world_fingerprint}|{','.join(sorted(failed_links))}"
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()[:16]
+
+
 class SimulationClock:
     """Maps epoch indexes to simulated time, optionally pacing real time.
 
@@ -200,9 +213,39 @@ class WorldTimeline:
         """Ground truth: event id → the epoch it fires (for scoring alerts)."""
         return {e.event.id: e.start_epoch for e in self.events}
 
+    # -- per-event ground truth ---------------------------------------------
+
+    def event_links(self, event_id: str) -> frozenset[str]:
+        """The IP links this event's failure draw severed."""
+        return self._event_links[event_id]
+
+    def event_cables(self, event_id: str) -> tuple[str, ...]:
+        """The cable ids this event's failure draw broke."""
+        return self._event_cables[event_id]
+
+    def event_fingerprint(self, event_id: str) -> str:
+        """The configuration fingerprint of *this event alone* — what the
+        world would look like if only this disaster were active.  Epoch
+        fingerprints compose the union of active events; per-event
+        fingerprints let triggered forensics key a shard (and a cache
+        entry) to one incident even while others overlap it."""
+        return compose_fingerprint(self._world_fp, self._event_links[event_id])
+
+    def ground_truth(self) -> dict[str, dict]:
+        """Everything a forensic verdict needs, per event: fire epoch, the
+        cables the event broke, and its solo-configuration fingerprint."""
+        return {
+            e.event.id: {
+                "epoch": e.start_epoch,
+                "cables": self._event_cables[e.event.id],
+                "links": self._event_links[e.event.id],
+                "fingerprint": self.event_fingerprint(e.event.id),
+            }
+            for e in self.events
+        }
+
     def _fingerprint(self, failed_links: set[str]) -> str:
-        material = f"{self._world_fp}|{','.join(sorted(failed_links))}"
-        return hashlib.sha256(material.encode("utf-8")).hexdigest()[:16]
+        return compose_fingerprint(self._world_fp, failed_links)
 
 
 def timeline_from_catalog(
@@ -225,4 +268,74 @@ def timeline_from_catalog(
             duration_epochs=duration_epochs,
         )
         for event in events
+    ]
+
+
+def overlapping_catalog_timeline(
+    world: SyntheticWorld,
+    count: int = 3,
+    first_epoch: int = 4,
+    stagger_epochs: int = 2,
+    duration_epochs: int = 8,
+    catalog: list[DisasterEvent] | None = None,
+    failure_probability: float = 1.0,
+    seed: int = 0,
+) -> list[TimelineEvent]:
+    """Schedule ``count`` concurrent catalog disasters with overlapping
+    fire/heal windows.
+
+    Events are chosen greedily from the catalog: only severe events whose
+    failure draw actually breaks cables qualify, and each new pick must
+    break cables *disjoint* from every earlier pick — so the composed
+    epoch configurations genuinely superimpose distinct incidents and a
+    triggered forensic query has something to disambiguate.  The i-th
+    event fires at ``first_epoch + i * stagger_epochs``; with
+    ``duration_epochs > stagger_epochs * (count - 1)`` every event is
+    simultaneously active for at least one epoch.
+
+    The failure draw here uses the same (footprint, probability, seed)
+    machinery as :class:`WorldTimeline`, so what qualifies an event is
+    exactly what the timeline will fire.
+    """
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    if stagger_epochs < 1:
+        raise ValueError(
+            "stagger_epochs must be >= 1: simultaneous fires collapse two "
+            "incidents into one alert episode"
+        )
+    if duration_epochs <= stagger_epochs * (count - 1):
+        raise ValueError(
+            f"duration_epochs={duration_epochs} too short: the windows of "
+            f"{count} events staggered by {stagger_epochs} would never all overlap"
+        )
+    events = catalog if catalog is not None else default_disaster_catalog()
+    chosen: list[DisasterEvent] = []
+    claimed_cables: set[str] = set()
+    for event in events:
+        if not event.is_severe:
+            continue
+        footprint = event_footprint(world, event)
+        sample = simulate_failures(
+            world, footprint, failure_probability=failure_probability, seed=seed
+        )
+        cables = set(sample.failed_cable_ids)
+        if not cables or cables & claimed_cables:
+            continue
+        chosen.append(event)
+        claimed_cables |= cables
+        if len(chosen) == count:
+            break
+    if len(chosen) < count:
+        raise ValueError(
+            f"catalog yields only {len(chosen)} severe cable-breaking events "
+            f"with disjoint footprints; asked for {count}"
+        )
+    return [
+        TimelineEvent(
+            event=event,
+            start_epoch=first_epoch + i * stagger_epochs,
+            duration_epochs=duration_epochs,
+        )
+        for i, event in enumerate(chosen)
     ]

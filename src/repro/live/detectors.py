@@ -42,6 +42,19 @@ class Alert:
             "detail": dict(self.detail),
         }
 
+    @property
+    def dedup_key(self) -> tuple:
+        """Identity for per-epoch dedup: the same detector re-raising the
+        same (kind, series) within one epoch is one alert, not two."""
+        return (self.epoch, self.detector, self.kind, self.series_key)
+
+    @property
+    def sort_key(self) -> tuple:
+        """Deterministic ordering independent of subscription drain order:
+        epoch first, then loudest, with lexical tiebreaks."""
+        return (self.epoch, -self.magnitude, self.detector, self.kind,
+                self.series_key)
+
 
 class RTTChangeDetector:
     """Streaming CUSUM over each latency series' per-epoch median RTT.
@@ -175,19 +188,49 @@ class DetectorBank:
             BGP_TOPIC, name="detector-bgp", maxlen=queue_maxlen
         )
         self.alerts: list[Alert] = []
+        self._seen: set[tuple] = set()
+        self.duplicates_dropped = 0
 
     def process_pending(self) -> list[Alert]:
-        """Drain both subscriptions, run the detectors, publish alerts."""
-        fresh: list[Alert] = []
+        """Drain both subscriptions, run the detectors, publish alerts.
+
+        The output is *canonical*: duplicate alerts (same detector, kind,
+        series and epoch) are dropped, and the batch is sorted by
+        :attr:`Alert.sort_key` — so downstream consumers (forensic
+        triggers, report scoring) see the same alert sequence regardless
+        of which subscription happened to drain first.
+        """
+        raw: list[Alert] = []
         for message in self._rtt_sub.drain():
-            fresh.extend(self.rtt.observe(message))
+            raw.extend(self.rtt.observe(message))
         for message in self._bgp_sub.drain():
-            fresh.extend(self.bgp.observe(message))
+            raw.extend(self.bgp.observe(message))
+        fresh: list[Alert] = []
+        for alert in sorted(raw, key=lambda a: a.sort_key):
+            if alert.dedup_key in self._seen:
+                self.duplicates_dropped += 1
+                continue
+            self._seen.add(alert.dedup_key)
+            fresh.append(alert)
+        if fresh:
+            # Dedup keys embed the epoch, so entries from well-past epochs
+            # can never match again — prune them or a long-running bank
+            # grows without bound.  One epoch of slack absorbs feeds whose
+            # drains straddle an epoch boundary.
+            newest = max(a.epoch for a in fresh)
+            self._seen = {k for k in self._seen if k[0] >= newest - 1}
         for alert in fresh:
             self.bus.publish(ALERTS_TOPIC, alert.to_dict())
         self.alerts.extend(fresh)
         return fresh
 
-    def first_alert_epoch(self, kind: str | None = None) -> int | None:
+    def first_alert(self, kind: str | None = None) -> Alert | None:
+        """The earliest alert (optionally of one kind); epoch ties break
+        deterministically by magnitude then lexical identity, never by
+        drain order."""
         relevant = [a for a in self.alerts if kind is None or a.kind == kind]
-        return min((a.epoch for a in relevant), default=None)
+        return min(relevant, key=lambda a: a.sort_key, default=None)
+
+    def first_alert_epoch(self, kind: str | None = None) -> int | None:
+        first = self.first_alert(kind)
+        return first.epoch if first is not None else None

@@ -19,7 +19,8 @@ from dataclasses import dataclass, field
 from repro.live.bus import EventBus
 from repro.live.clock import SimulationClock, TimelineEvent, WorldTimeline
 from repro.live.detectors import DetectorBank
-from repro.live.standing import StandingQuery, StandingQueryManager
+from repro.live.forensics import ForensicTrigger, TriggerPolicy
+from repro.live.standing import EpochShardPool, StandingQuery, StandingQueryManager
 from repro.live.telemetry import BGPFeed, TracerouteFeed
 from repro.serve.broker import QueryBroker, ServeConfig
 from repro.serve.cache import cache_file_path
@@ -52,9 +53,11 @@ class LiveConfig:
     pair_count: int = 8
     samples_per_pair: int = 4
     standing_every_n_epochs: int = 1
-    #: Evolved-world shards retained by the standing-query manager before
+    #: Evolved-world shards retained by the shared epoch-shard pool before
     #: the least recently used idle one is evicted (see standing.py).
     max_epoch_shards: int = 8
+    #: Close the loop: alerts spawn forensic queries (see forensics.py).
+    forensics: bool = False
     result_timeout_s: float | None = 120.0
 
     def __post_init__(self) -> None:
@@ -78,6 +81,10 @@ class LiveReport:
     #: BGP collector route-cache economics: how much re-convergence work the
     #: incremental tables avoided across the replay (see BGPCollectorSim).
     routing_stats: dict = field(default_factory=dict)
+    #: Closed-loop forensics: one record per alert-triggered case, plus the
+    #: trigger plane's economics (empty when forensics is disabled).
+    forensic_cases: list[dict] = field(default_factory=list)
+    forensic_stats: dict = field(default_factory=dict)
     cache_file: str | None = None
     epoch_log: list[dict] = field(default_factory=list)
 
@@ -102,6 +109,14 @@ class LiveReport:
             1 for row in self.detection.values() if row["latency_epochs"] is not None
         )
 
+    @property
+    def completed_cases(self) -> int:
+        return sum(1 for c in self.forensic_cases if c["state"] == "done")
+
+    @property
+    def confirmed_cases(self) -> int:
+        return sum(1 for c in self.forensic_cases if c["verdict"] == "confirmed")
+
     def to_dict(self) -> dict:
         return {
             "epochs": self.epochs,
@@ -116,6 +131,8 @@ class LiveReport:
             "broker_stats": self.broker_stats,
             "bus_stats": self.bus_stats,
             "routing_stats": self.routing_stats,
+            "forensic_cases": self.forensic_cases,
+            "forensic_stats": self.forensic_stats,
             "cache_file": self.cache_file,
             "epoch_log": self.epoch_log,
         }
@@ -172,13 +189,18 @@ def run_live_replay(
     standing_queries: list[StandingQuery] | None = None,
     broker: QueryBroker | None = None,
     registry=None,
+    trigger_policy: TriggerPolicy | None = None,
 ) -> LiveReport:
     """Run one scenario timeline end-to-end and score it.
 
     Pass an already-started ``broker`` to reuse its (warm) cache across
     replays; otherwise one is built (over ``registry``, when given) and
     shut down internally.  The default standing-query set is the
-    continuous forensic question.
+    continuous forensic question.  With ``config.forensics`` the
+    closed loop is armed: a :class:`ForensicTrigger` (under
+    ``trigger_policy``, defaulting to :class:`TriggerPolicy`) turns
+    detector alerts into high-priority forensic queries and joins their
+    verdicts into the report.
     """
     cfg = config or LiveConfig()
     world = world or default_world()
@@ -212,7 +234,16 @@ def run_live_replay(
     )
     bgp_feed = BGPFeed(world, bus)
     bank = DetectorBank(bus)
-    manager = StandingQueryManager(broker, max_epoch_shards=cfg.max_epoch_shards)
+    # One shard pool shared by every plane that materializes evolved worlds,
+    # so standing queries and triggered forensics reuse each other's shards
+    # and their combined population stays LRU-bounded.
+    pool = EpochShardPool(broker, max_epoch_shards=cfg.max_epoch_shards)
+    manager = StandingQueryManager(broker, pool=pool)
+    trigger = (
+        ForensicTrigger(bus, broker, pool=pool, policy=trigger_policy,
+                        timeline=timeline)
+        if cfg.forensics else None
+    )
     if standing_queries is None:
         standing_queries = [StandingQuery(
             name="forensic-watch",
@@ -231,7 +262,14 @@ def run_live_replay(
             traceroute_feed.publish_epoch(state)
             bgp_feed.publish_epoch(state)
             fresh = bank.process_pending()
+            cases_opened = []
+            if trigger is not None:
+                # Trigger before standing queries: forensic submissions are
+                # high-priority, so they claim the pool first by design.
+                cases_opened = trigger.on_epoch(state)
             served = manager.on_epoch(state)
+            if trigger is not None:
+                trigger.collect(timeout=cfg.result_timeout_s)
             computed = manager.collect(timeout=cfg.result_timeout_s)
             standing_results.extend(r.to_dict() for r in served + computed)
             epoch_log.append({
@@ -240,6 +278,7 @@ def run_live_replay(
                 "changed": state.changed,
                 "failed_cables": list(state.failed_cable_ids),
                 "alerts": len(fresh),
+                "cases_opened": len(cases_opened),
                 "standing_from_cache": sum(1 for r in served if r.from_cache),
                 "standing_computed": len(computed),
             })
@@ -257,6 +296,10 @@ def run_live_replay(
             broker_stats=broker.stats(),
             bus_stats=bus.stats(),
             routing_stats=bgp_feed.collector.cache_info(),
+            forensic_cases=(
+                [c.to_dict() for c in trigger.cases] if trigger else []
+            ),
+            forensic_stats=trigger.stats() if trigger else {},
             cache_file=cache_file,
             epoch_log=epoch_log,
         )

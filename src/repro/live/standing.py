@@ -18,16 +18,22 @@ Deregistration cancels any still-queued tickets through
 Epoch shards are *retained*, not hoarded: each distinct changed-world
 configuration materializes one broker world shard, and a long timeline
 over a rich disaster catalog would otherwise grow that population without
-bound.  The manager keeps an LRU of at most ``max_epoch_shards`` epoch
-shards, evicting the least recently used idle shard (and its backend
-templates/affinity bindings, via :meth:`QueryBroker.remove_world`) when a
-new configuration appears; a re-encountered fingerprint simply rebuilds.
+bound.  The :class:`EpochShardPool` keeps an LRU of at most
+``max_epoch_shards`` evolved shards, evicting the least recently used idle
+shard (and its backend templates/affinity bindings, via
+:meth:`QueryBroker.remove_world`) when a new configuration appears; a
+re-encountered fingerprint simply rebuilds.  The pool is shared
+infrastructure: the standing-query manager and the forensic trigger plane
+(see :mod:`repro.live.forensics`) materialize shards through the same
+pool, so their combined population stays bounded and a shard whose
+fingerprint both planes need is built once.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
+from collections import Counter, OrderedDict
 from dataclasses import dataclass
+from typing import Iterable
 
 from repro.live.clock import EpochState
 from repro.serve.broker import DEFAULT_WORLD_KEY, JobState, QueryBroker
@@ -36,6 +42,99 @@ from repro.synth.scenarios import make_latency_incident
 #: ArtifactCache stage name for standing-query results; its hit/miss
 #: counters surface in ``broker.stats()["cache"]["per_stage"]["standing"]``.
 STANDING_STAGE = "standing"
+
+
+class EpochShardPool:
+    """LRU retention of evolved-world broker shards, shared across planes.
+
+    A shard materializes one failed-cable configuration: the base world
+    plus one ambient :class:`LatencyIncident` per failed cable, so a
+    pipeline served against it genuinely *observes* the evolved world —
+    a forensic query recovers the cut cable from its telemetry signature,
+    and the same query over a healed configuration finds nothing.  Keys
+    are ``{base}@{fingerprint}``; an empty cable set is the base shard
+    itself (never tracked, never evicted).
+
+    Shards with pinned (in-flight) jobs are skipped during eviction;
+    callers :meth:`pin` a key per outstanding submission and
+    :meth:`unpin` it when the result is collected.
+    """
+
+    def __init__(self, broker: QueryBroker, max_epoch_shards: int = 8):
+        if max_epoch_shards < 1:
+            raise ValueError("max_epoch_shards must be >= 1")
+        self.broker = broker
+        self.max_epoch_shards = max_epoch_shards
+        self._lru: OrderedDict[str, None] = OrderedDict()
+        self._pins: Counter[str] = Counter()
+        self.shards_evicted = 0
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    def materialize(self, base_key: str, fingerprint: str,
+                    cable_ids: Iterable[str]) -> str:
+        """The shard key for one configuration, building it on first sight
+        (LRU-evicting an idle shard when the pool is full)."""
+        cable_ids = tuple(cable_ids)
+        if not cable_ids:
+            return base_key  # unchanged world: the base shard already is it
+        key = f"{base_key}@{fingerprint}"
+        if key not in self.broker.world_keys():
+            self._evict(keep=key)
+            base = self.broker.shard(base_key).world
+            incidents = [
+                make_latency_incident(base, base.cables[cable_id].name)
+                for cable_id in cable_ids
+                if cable_id in base.cables
+            ]
+            self.broker.add_world(key, base, incidents=incidents)
+        self._lru[key] = None
+        self._lru.move_to_end(key)
+        return key
+
+    def pin(self, key: str) -> None:
+        """Mark one in-flight job against ``key`` (no-op for base shards)."""
+        if key in self._lru:
+            self._pins[key] += 1
+
+    def unpin(self, key: str) -> None:
+        if self._pins.get(key):
+            self._pins[key] -= 1
+            if not self._pins[key]:
+                del self._pins[key]
+
+    def _evict(self, keep: str) -> None:
+        """Make room for one more epoch shard, LRU-first.
+
+        Pinned shards are skipped (removing them would fail those jobs
+        mid-flight); they age out on a later pass once unpinned.
+        """
+        while len(self._lru) >= self.max_epoch_shards:
+            victim = next(
+                (k for k in self._lru if k != keep and not self._pins.get(k)),
+                None,
+            )
+            if victim is None:
+                return  # everything old is busy; retention overshoots briefly
+            del self._lru[victim]
+            try:
+                self.broker.remove_world(victim)
+            except Exception:
+                # A job raced in between the pin check and removal; keep
+                # the shard registered and try again on the next epoch.
+                self._lru[victim] = None
+                self._lru.move_to_end(victim, last=False)
+                return
+            self.shards_evicted += 1
+
+    def stats(self) -> dict:
+        return {
+            "epoch_shards": len(self._lru),
+            "max_epoch_shards": self.max_epoch_shards,
+            "shards_evicted": self.shards_evicted,
+            "pinned": sum(1 for c in self._pins.values() if c),
+        }
 
 
 @dataclass(frozen=True)
@@ -103,21 +202,26 @@ class _Pending:
 class StandingQueryManager:
     """Re-evaluates registered queries on epoch boundaries via the broker."""
 
-    def __init__(self, broker: QueryBroker, max_epoch_shards: int = 8):
-        if max_epoch_shards < 1:
-            raise ValueError("max_epoch_shards must be >= 1")
+    def __init__(self, broker: QueryBroker, max_epoch_shards: int | None = None,
+                 pool: EpochShardPool | None = None):
         self.broker = broker
-        self.max_epoch_shards = max_epoch_shards
+        if pool is not None and max_epoch_shards is not None:
+            raise ValueError(
+                "pass max_epoch_shards or a shared pool, not both — a shared "
+                "pool already carries its own retention bound"
+            )
+        #: Evolved-world shard retention, possibly shared with other planes
+        #: (the forensic trigger); built here when not handed in.  Explicit
+        #: None check: an empty pool is falsy (it has __len__).
+        self.pool = pool if pool is not None else EpochShardPool(
+            broker, 8 if max_epoch_shards is None else max_epoch_shards
+        )
         self._queries: dict[str, StandingQuery] = {}
         self._pending: list[_Pending] = []
-        #: LRU of evolved-world shards this manager registered (key → None);
-        #: the base shard is never tracked and never evicted.
-        self._epoch_shards: OrderedDict[str, None] = OrderedDict()
         self.evaluations = 0
         self.cache_hits = 0
         self.submitted = 0
         self.cancelled = 0
-        self.shards_evicted = 0
 
     # -- registration -------------------------------------------------------
 
@@ -141,6 +245,7 @@ class StandingQueryManager:
                 cancelled += 1
             # Running/finished tickets are left to settle; nobody collects
             # them for a deregistered query, and the broker prunes them.
+            self.pool.unpin(pending.world_key)
         self._pending = kept
         self.cancelled += cancelled
         return cancelled
@@ -157,59 +262,6 @@ class StandingQueryManager:
             "world_key": sq.world_key,
             "epoch_fingerprint": epoch.fingerprint,
         }
-
-    def _epoch_shard_key(self, sq: StandingQuery, epoch: EpochState) -> str:
-        """A world shard materializing this epoch's configuration.
-
-        Built lazily per distinct fingerprint: the base world plus one
-        ambient :class:`LatencyIncident` per failed cable, so the executed
-        pipeline genuinely *observes* the evolved world — a forensic
-        standing query recovers the cut cable from its telemetry signature,
-        and the same query over a healed epoch finds nothing.  A cut/heal
-        timeline only ever has a handful of distinct configurations, so the
-        shard population stays small and each is reused across epochs.
-        """
-        if not epoch.failed_cable_ids:
-            return sq.world_key  # unchanged world: the base shard already is it
-        key = f"{sq.world_key}@{epoch.fingerprint}"
-        if key not in self.broker.world_keys():
-            self._evict_epoch_shards(keep=key)
-            base = self.broker.shard(sq.world_key).world
-            incidents = [
-                make_latency_incident(base, base.cables[cable_id].name)
-                for cable_id in epoch.failed_cable_ids
-                if cable_id in base.cables
-            ]
-            self.broker.add_world(key, base, incidents=incidents)
-        self._epoch_shards[key] = None
-        self._epoch_shards.move_to_end(key)
-        return key
-
-    def _evict_epoch_shards(self, keep: str) -> None:
-        """Make room for one more epoch shard, LRU-first.
-
-        Shards with still-outstanding tickets are skipped (removing them
-        would fail those jobs mid-flight); they age out on a later pass
-        once collected.
-        """
-        busy = {p.world_key for p in self._pending}
-        while len(self._epoch_shards) >= self.max_epoch_shards:
-            victim = next(
-                (k for k in self._epoch_shards if k != keep and k not in busy),
-                None,
-            )
-            if victim is None:
-                return  # everything old is busy; retention overshoots briefly
-            del self._epoch_shards[victim]
-            try:
-                self.broker.remove_world(victim)
-            except Exception:
-                # A job raced in between the busy check and removal; keep
-                # the shard registered and try again on the next epoch.
-                self._epoch_shards[victim] = None
-                self._epoch_shards.move_to_end(victim, last=False)
-                return
-            self.shards_evicted += 1
 
     def on_epoch(self, epoch: EpochState) -> list[StandingResult]:
         """Evaluate every due query against this epoch's configuration.
@@ -237,13 +289,16 @@ class StandingQueryManager:
                         final=payload.get("final"),
                     ))
                     continue
-            world_key = self._epoch_shard_key(sq, epoch)
+            world_key = self.pool.materialize(
+                sq.world_key, epoch.fingerprint, epoch.failed_cable_ids
+            )
             ticket = self.broker.submit(
                 sq.query,
                 params=sq.params_dict() or None,
                 priority=sq.priority,
                 world_key=world_key,
             )
+            self.pool.pin(world_key)
             self.submitted += 1
             self._pending.append(_Pending(sq, epoch, material, ticket, world_key))
         return served
@@ -258,6 +313,7 @@ class StandingQueryManager:
         pending, self._pending = self._pending, []
         for item in pending:
             job = self.broker.wait(item.ticket, timeout)
+            self.pool.unpin(item.world_key)
             final = None
             if job.state is JobState.DONE:
                 outputs = job.result.execution.outputs
@@ -287,9 +343,9 @@ class StandingQueryManager:
             "cache_hits": self.cache_hits,
             "submitted": self.submitted,
             "cancelled": self.cancelled,
-            "epoch_shards": len(self._epoch_shards),
-            "max_epoch_shards": self.max_epoch_shards,
-            "shards_evicted": self.shards_evicted,
+            "epoch_shards": len(self.pool),
+            "max_epoch_shards": self.pool.max_epoch_shards,
+            "shards_evicted": self.pool.shards_evicted,
             "outstanding": len(self._pending),
             "hit_rate": self.cache_hits / self.evaluations if self.evaluations else 0.0,
         }

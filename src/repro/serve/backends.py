@@ -234,8 +234,23 @@ def _run_one(index, templates, row, shm_min_bytes) -> tuple:
         return (job_id, False, _encode_exception(exc), None)
 
 
-def _worker_main(index: int, requests, replies, shm_min_bytes: int) -> None:
-    """One worker process: drain batches, run pipelines, reply per batch."""
+def _worker_main(index: int, requests, replies, shm_min_bytes: int,
+                 close_fds: tuple[int, ...] = ()) -> None:
+    """One worker process: drain batches, run pipelines, reply per batch.
+
+    ``replies`` is this worker's *own* pipe connection — workers never
+    share a reply channel, so a worker SIGKILLed mid-write cannot poison
+    a lock its siblings need (see ``_collector_loop``).  ``close_fds``
+    are the other slots' inherited reply write-ends (fork start method
+    only): closing them here is what lets the broker-side reader see EOF
+    — instead of blocking forever on a half-written message — when any
+    single worker dies.
+    """
+    for fd in close_fds:
+        try:
+            os.close(fd)
+        except OSError:  # pragma: no cover - already closed
+            pass
     templates: dict[str, JobPayload] = {}
     while True:
         try:
@@ -254,7 +269,7 @@ def _worker_main(index: int, requests, replies, shm_min_bytes: int) -> None:
                     # A bad template fails loudly at first job, with the
                     # error attached to a ticket someone is waiting on.
                     pass
-            replies.put(("preloaded", index, os.getpid()))
+            replies.send(("preloaded", index, os.getpid()))
             continue
         if kind == "forget":
             template = templates.pop(message[1], None)
@@ -264,7 +279,7 @@ def _worker_main(index: int, requests, replies, shm_min_bytes: int) -> None:
         _, new_templates, rows = message  # ("batch", {shard: template}, rows)
         templates.update(new_templates)
         out = [_run_one(index, templates, row, shm_min_bytes) for row in rows]
-        replies.put(("done", index, out))
+        replies.send(("done", index, out))
 
 
 # -- broker side --------------------------------------------------------------
@@ -349,17 +364,21 @@ class _WorkerSlot:
 
     The slot survives its process: a crashed worker is respawned in place
     with a bumped ``generation``, which lazily invalidates affinity
-    bindings and template-shipping state tied to the old process.
+    bindings and template-shipping state tied to the old process.  Each
+    generation gets a fresh request queue and a fresh *private* reply
+    pipe (``reply_r`` broker-side, ``reply_w`` shipped to the process).
     """
 
     __slots__ = ("index", "generation", "process", "request_q",
-                 "templates_sent", "pending", "inflight")
+                 "reply_r", "reply_w", "templates_sent", "pending", "inflight")
 
     def __init__(self, index: int):
         self.index = index
         self.generation = 0
         self.process = None
         self.request_q = None
+        self.reply_r = None
+        self.reply_w = None
         self.templates_sent: set[str] = set()
         self.pending: deque = deque()  # (job_id, shard_key, query, params)
         self.inflight: set[int] = set()
@@ -375,10 +394,20 @@ class ProcessPoolBackend(ExecutionBackend):
     affinity slot owns a request queue, so the dispatcher controls *which*
     process a job lands on — the whole point of sticky routing.  A sender
     thread coalesces concurrent dispatches per slot into batched messages,
-    a collector thread drains one shared reply queue (decoding
-    shared-memory payloads, see :mod:`repro.serve.transport`), and a
-    monitor thread respawns dead workers and fails their in-flight jobs
-    with :class:`WorkerCrashed` so the broker can retry them elsewhere.
+    a collector thread multiplexes every worker's *private* reply pipe
+    (decoding shared-memory payloads, see :mod:`repro.serve.transport`),
+    and a monitor thread respawns dead workers and fails their in-flight
+    jobs with :class:`WorkerCrashed` so the broker can retry them
+    elsewhere.
+
+    Replies deliberately do not share a queue: a shared
+    ``multiprocessing`` queue serializes writers through a cross-process
+    semaphore, and a worker SIGKILLed inside ``put`` dies holding it —
+    deadlocking every surviving worker's replies (found by the chaos
+    suite).  One pipe per worker means one writer per lockless channel;
+    sibling processes close their inherited copies of each other's write
+    ends so a dead writer always surfaces as EOF, never as a forever-
+    blocking read.
     """
 
     name = "process"
@@ -410,12 +439,17 @@ class ProcessPoolBackend(ExecutionBackend):
         self._cache_entries = cache_entries
         self._start_method = start_method
         self._ctx = None
+        self._method = None
         self._slots: list[_WorkerSlot] = []
         self._templates: dict[str, JobPayload] = {}
         self._affinity: OrderedDict[str, tuple[int, int, str]] = OrderedDict()
         self._futures: dict[int, Future] = {}
         self._job_ids = itertools.count(1)
-        self._reply_q = None
+        #: Reply pipes of dead worker generations, drained to EOF by the
+        #: collector so raced-in results are released, never leaked.
+        self._retired_pipes: list = []
+        self._wake_r = None
+        self._wake_w = None
         self._threads: list[threading.Thread] = []
         self._lock = threading.Lock()
         self._work = threading.Condition(self._lock)
@@ -439,10 +473,16 @@ class ProcessPoolBackend(ExecutionBackend):
             available = multiprocessing.get_all_start_methods()
             method = "fork" if "fork" in available else "spawn"
         self._ctx = multiprocessing.get_context(method)
-        self._reply_q = self._ctx.SimpleQueue()
+        self._method = method
+        self._wake_r, self._wake_w = self._ctx.Pipe(duplex=False)
         self._slots = [_WorkerSlot(i) for i in range(self.num_workers)]
+        # Pipes first, forks second: each worker learns every sibling's
+        # reply write-end so it can close its inherited copy (see
+        # _worker_main's close_fds).
         for slot in self._slots:
-            self._spawn(slot)
+            self._prepare_slot(slot)
+        for slot in self._slots:
+            self._launch(slot)
         # Prefork preload: every world registered before start is built in
         # every worker now, so first jobs land on warm state instead of
         # paying the world build inside a measured request.
@@ -464,27 +504,42 @@ class ProcessPoolBackend(ExecutionBackend):
         self._started = True
         return self
 
-    def _spawn(self, slot: _WorkerSlot) -> None:
-        self._prepare_slot(slot)
-        self._launch(slot)
-
     def _prepare_slot(self, slot: _WorkerSlot) -> None:
         """Reset a slot for a fresh process (callers hold the lock after
         start).  Dispatch keeps working immediately: rows queued against the
-        new request queue wait in its pipe until the process comes up."""
+        new request queue wait in its pipe until the process comes up.  The
+        old generation's reply pipe is retired, not dropped — the collector
+        drains it to EOF so results that raced the death are released."""
         slot.request_q = self._ctx.SimpleQueue()
+        if slot.reply_r is not None:
+            self._retired_pipes.append(slot.reply_r)
+        slot.reply_r, slot.reply_w = self._ctx.Pipe(duplex=False)
         slot.templates_sent = set()
         slot.process = None
 
     def _launch(self, slot: _WorkerSlot) -> None:
+        close_fds: tuple[int, ...] = ()
+        if self._method == "fork":
+            # The child inherits every sibling pipe open in this parent at
+            # fork time; hand it the write-end fds to close so a sibling's
+            # death reads as EOF broker-side.
+            close_fds = tuple(
+                s.reply_w.fileno() for s in self._slots
+                if s is not slot and s.reply_w is not None
+            )
         process = self._ctx.Process(
             target=_worker_main,
-            args=(slot.index, slot.request_q, self._reply_q, self.shm_min_bytes),
+            args=(slot.index, slot.request_q, slot.reply_w, self.shm_min_bytes,
+                  close_fds),
             name=f"arachnet-worker-{slot.index}",
             daemon=True,
         )
         process.start()
         slot.process = process
+        # The worker owns the write end now; holding our copy open would
+        # mask its death from the reader.
+        slot.reply_w.close()
+        slot.reply_w = None
 
     def shutdown(self, wait: bool = True) -> None:
         with self._lock:
@@ -506,6 +561,7 @@ class ProcessPoolBackend(ExecutionBackend):
                 futures, self._futures = self._futures, {}
             for future in futures.values():
                 future.set_exception(BackendError("process backend shut down"))
+            self._wake_collector()
             return
         for slot in self._slots:
             if slot.process is None:  # pragma: no cover - raced a respawn
@@ -515,7 +571,7 @@ class ProcessPoolBackend(ExecutionBackend):
                 slot.process.terminate()
                 slot.process.join(timeout=5)
         monitor.join(timeout=5)
-        self._reply_q.put(("stop",))
+        self._wake_collector()
         collector.join(timeout=15)
         # Fail anything still outstanding so no claimer thread hangs forever.
         with self._lock:
@@ -688,45 +744,128 @@ class ProcessPoolBackend(ExecutionBackend):
             for queue, message in sends:
                 queue.put(message)
 
+    def _wake_collector(self) -> None:
+        try:
+            self._wake_w.send_bytes(b"w")
+        except (OSError, ValueError):  # pragma: no cover - already closing
+            pass
+
     def _collector_loop(self) -> None:
+        """Multiplex every worker's private reply pipe.
+
+        A reader per writer means no cross-process reply lock exists to be
+        poisoned by a SIGKILL; a worker that dies mid-write surfaces as
+        EOF (its fd has no other holders) and its in-flight jobs are the
+        monitor's to fail.  Retired pipes — prior generations of respawned
+        slots — are drained to EOF so results that raced the death are
+        released rather than leaking their shared-memory segments.
+        """
         while True:
-            message = self._reply_q.get()
-            kind = message[0]
-            if kind == "stop":
-                return
-            if kind == "preloaded":
-                with self._lock:
-                    self._proc_cache_stats.setdefault(message[2], None)
+            with self._lock:
+                # Purge pipes closed by a drain that raced slot retirement;
+                # waiting on a closed fd would raise forever.
+                self._retired_pipes = [
+                    c for c in self._retired_pipes if not c.closed
+                ]
+                readers = {
+                    slot.reply_r: False  # conn -> is_retired
+                    for slot in self._slots
+                    if slot.reply_r is not None and not slot.reply_r.closed
+                }
+                for conn in self._retired_pipes:
+                    readers[conn] = True
+            try:
+                ready = connection.wait(
+                    list(readers) + [self._wake_r], timeout=0.2
+                )
+            except (OSError, ValueError):  # a pipe retired mid-wait
                 continue
-            _, index, rows = message  # ("done", slot index, result rows)
-            slot = self._slots[index]
-            for job_id, ok, blob, meta in rows:
-                with self._lock:
-                    slot.inflight.discard(job_id)
-                    future = self._futures.pop(job_id, None)
-                    if meta is not None:
-                        self._proc_cache_stats[meta["pid"]] = meta["cache"]
-                    if ok:
-                        if blob[0] == "shm":
-                            self._counts["shm_results"] += 1
-                            self._counts["shm_bytes"] += (
-                                blob[2] + sum(blob[3])
-                            )
-                        else:
-                            self._counts["inline_results"] += 1
-                if future is None:
-                    if ok:  # nobody will decode it; reclaim the segment
-                        transport.release(blob)
-                    continue
-                if ok:
+            stop = False
+            for conn in ready:
+                if conn is self._wake_r:
                     try:
-                        future.set_result(transport.decode(blob))
-                    except Exception as exc:  # pragma: no cover - defensive
-                        future.set_exception(BackendError(
-                            f"failed to decode worker result: {exc}"
-                        ))
-                else:
-                    future.set_exception(_decode_exception(blob))
+                        self._wake_r.recv_bytes()
+                    except (EOFError, OSError):  # pragma: no cover
+                        pass
+                    stop = self._stop.is_set()
+                    continue
+                self._drain_pipe(conn, retired=readers[conn])
+            if stop:
+                # Final sweep: every worker has exited (or been killed);
+                # their pipes hold only complete messages then EOF.
+                with self._lock:
+                    leftovers = ([s.reply_r for s in self._slots
+                                  if s.reply_r is not None]
+                                 + list(self._retired_pipes))
+                for conn in leftovers:
+                    self._drain_pipe(conn, retired=True)
+                return
+
+    def _drain_pipe(self, conn, retired: bool) -> None:
+        """Consume every complete message on one reply pipe, closing it on
+        EOF.  A live slot's pipe is detached from its slot when it EOFs —
+        drained empty, it can carry nothing more, and leaving it in the
+        wait set would spin the collector hot until the monitor respawns
+        the slot (which, during shutdown, it never does)."""
+        while True:
+            try:
+                if not conn.poll():
+                    return
+                message = conn.recv()
+            except (EOFError, OSError):
+                try:
+                    conn.close()
+                except OSError:  # pragma: no cover
+                    pass
+                with self._lock:
+                    if retired:
+                        if conn in self._retired_pipes:
+                            self._retired_pipes.remove(conn)
+                    else:
+                        for slot in self._slots:
+                            if slot.reply_r is conn:
+                                # The monitor's _prepare_slot skips the
+                                # retire step for a None pipe and builds a
+                                # fresh one for the respawn.
+                                slot.reply_r = None
+                return
+            self._handle_reply(message)
+
+    def _handle_reply(self, message: tuple) -> None:
+        kind = message[0]
+        if kind == "preloaded":
+            with self._lock:
+                self._proc_cache_stats.setdefault(message[2], None)
+            return
+        _, index, rows = message  # ("done", slot index, result rows)
+        slot = self._slots[index]
+        for job_id, ok, blob, meta in rows:
+            with self._lock:
+                slot.inflight.discard(job_id)
+                future = self._futures.pop(job_id, None)
+                if meta is not None:
+                    self._proc_cache_stats[meta["pid"]] = meta["cache"]
+                if ok:
+                    if blob[0] == "shm":
+                        self._counts["shm_results"] += 1
+                        self._counts["shm_bytes"] += (
+                            blob[2] + sum(blob[3])
+                        )
+                    else:
+                        self._counts["inline_results"] += 1
+            if future is None:
+                if ok:  # nobody will decode it; reclaim the segment
+                    transport.release(blob)
+                continue
+            if ok:
+                try:
+                    future.set_result(transport.decode(blob))
+                except Exception as exc:  # pragma: no cover - defensive
+                    future.set_exception(BackendError(
+                        f"failed to decode worker result: {exc}"
+                    ))
+            else:
+                future.set_exception(_decode_exception(blob))
 
     def _monitor_loop(self) -> None:
         while not self._stop.is_set():
@@ -768,8 +907,8 @@ class ProcessPoolBackend(ExecutionBackend):
                 # dispatch/collection.  Forking here, after threads exist,
                 # mirrors multiprocessing.Pool's own worker repopulation:
                 # safe because the child only touches the fresh request
-                # queue and the cross-process (semaphore-backed) reply
-                # queue, never broker-side thread state.
+                # queue and its own private reply pipe (plus the close_fds
+                # hand-off in _launch), never broker-side thread state.
                 self._launch(slot)
                 for future in crashed:
                     future.set_exception(WorkerCrashed(slot.index))

@@ -156,6 +156,7 @@ class QueryBroker:
         self._ticket_counter = 0
         self._pruned = 0
         self._finished_total = {"done": 0, "failed": 0, "cancelled": 0}
+        self._submitted_by_priority: dict[int, int] = {}
         self._default_registry = registry
         if world is not None:
             self.add_world(DEFAULT_WORLD_KEY, world, incidents=incidents,
@@ -284,6 +285,9 @@ class QueryBroker:
             job = Job(ticket=ticket, query=query, params=params,
                       priority=priority, world_key=world_key)
             self._jobs[ticket] = job
+            self._submitted_by_priority[priority] = (
+                self._submitted_by_priority.get(priority, 0) + 1
+            )
         self.ledger.open(ticket, query, world_key)
         try:
             self._scheduler.push(job, priority=priority, shard=world_key)
@@ -355,10 +359,12 @@ class QueryBroker:
             submitted = self._ticket_counter
             pruned = self._pruned
             finished_total = dict(self._finished_total)
+            by_priority = dict(sorted(self._submitted_by_priority.items()))
         return {
             "submitted": submitted,
             "states": states,  # retained jobs only; see finished_total
             "finished_total": finished_total,
+            "submitted_by_priority": by_priority,
             "pruned": pruned,
             "workers": self.config.workers,
             "active_jobs": self._pool.active_jobs,

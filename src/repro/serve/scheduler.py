@@ -81,6 +81,11 @@ class PriorityScheduler:
         self._pushed = 0
         self._popped = 0
         self._per_shard: dict[str, int] = {}
+        self._pushed_by_priority: dict[int, int] = {}
+        self._queued_by_priority: dict[int, int] = {}
+        #: Pops that serviced a band while lower-priority work was queued —
+        #: how often the priority path actually jumped a queue.
+        self._preemptions = 0
 
     def push(self, item: Any, priority: int = 0, shard: str = "default") -> None:
         with self._cond:
@@ -89,7 +94,22 @@ class PriorityScheduler:
             heapq.heappush(self._heap, (-priority, next(self._seq), shard, item))
             self._pushed += 1
             self._per_shard[shard] = self._per_shard.get(shard, 0) + 1
+            self._pushed_by_priority[priority] = (
+                self._pushed_by_priority.get(priority, 0) + 1
+            )
+            self._queued_by_priority[priority] = (
+                self._queued_by_priority.get(priority, 0) + 1
+            )
             self._cond.notify()
+
+    def _account_pop(self, neg_priority: int, shard: str) -> None:
+        self._popped += 1
+        self._per_shard[shard] -= 1
+        priority = -neg_priority
+        self._queued_by_priority[priority] -= 1
+        if any(count and band < priority
+               for band, count in self._queued_by_priority.items()):
+            self._preemptions += 1
 
     def pop(self, timeout: float | None = None) -> Any | None:
         """Next job by priority then arrival; ``None`` on timeout or when the
@@ -100,9 +120,8 @@ class PriorityScheduler:
                     return None
                 if not self._cond.wait(timeout):
                     return None
-            _, _, shard, item = heapq.heappop(self._heap)
-            self._popped += 1
-            self._per_shard[shard] -= 1
+            neg_priority, _, shard, item = heapq.heappop(self._heap)
+            self._account_pop(neg_priority, shard)
             return item
 
     def pop_batch(self, limit: int) -> list[Any]:
@@ -115,9 +134,8 @@ class PriorityScheduler:
         items: list[Any] = []
         with self._cond:
             while self._heap and len(items) < limit:
-                _, _, shard, item = heapq.heappop(self._heap)
-                self._popped += 1
-                self._per_shard[shard] -= 1
+                neg_priority, _, shard, item = heapq.heappop(self._heap)
+                self._account_pop(neg_priority, shard)
                 items.append(item)
         return items
 
@@ -146,4 +164,6 @@ class PriorityScheduler:
                 "per_shard_queued": {
                     k: v for k, v in sorted(self._per_shard.items()) if v
                 },
+                "pushed_by_priority": dict(sorted(self._pushed_by_priority.items())),
+                "preemptions": self._preemptions,
             }

@@ -1,0 +1,156 @@
+"""Differential cross-backend testing: randomized seeded campaigns must
+produce byte-identical artifacts on the thread and process backends.
+
+The pipeline's determinism contract says an answer is a pure function of
+(query, params, world config, registry) — the execution plane must never
+leak into the artifact.  These tests fan *randomized* (but seeded, so
+reproducible) workloads across both backends and compare
+``PipelineResult.artifact_digest()`` per job.
+"""
+
+import random
+
+import pytest
+
+from repro.serve import CampaignSpec, JobState, QueryBroker, ServeConfig, run_campaign
+from repro.serve.campaign import (
+    CABLE_IMPACT_TEMPLATE,
+    CASCADE_TEMPLATE,
+    DISASTER_TEMPLATE,
+    CampaignJob,
+)
+from repro.synth.scenarios import make_latency_incident
+from repro.synth.world import WorldConfig, build_world
+
+FORENSIC_TEMPLATE = (
+    "A sudden increase in latency was observed from {src} probes to {dst} "
+    "destinations starting three days ago. Determine if a submarine cable "
+    "failure caused this, and if so, identify the specific cable."
+)
+
+
+@pytest.fixture(scope="module")
+def diff_world():
+    """A smaller config-reproducible world (the process backend rebuilds
+    worlds from their WorldConfig in every worker)."""
+    return build_world(WorldConfig(seed=3, tier1_count=6, tier2_per_region=2,
+                                   edge_density=0.5))
+
+
+def random_campaign(world, seed: int, jobs: int = 4) -> list[CampaignJob]:
+    """A seeded random scenario mix: cable impacts, disasters, cascades and
+    a forensic question, drawn from the world's own catalog."""
+    rng = random.Random(seed)
+    cables = list(world.cable_names())
+    rng.shuffle(cables)
+    pool = [
+        CampaignJob(query=CABLE_IMPACT_TEMPLATE.format(cable=cables[0]),
+                    tag=f"cable:{cables[0]}"),
+        CampaignJob(query=CABLE_IMPACT_TEMPLATE.format(cable=cables[1]),
+                    tag=f"cable:{cables[1]}"),
+        CampaignJob(
+            query=DISASTER_TEMPLATE.format(
+                kind=rng.choice(("earthquake", "hurricane")),
+                probability=rng.choice((0.05, 0.1, 0.2)),
+            ),
+            tag="disaster",
+        ),
+        CampaignJob(
+            query=CASCADE_TEMPLATE.format(
+                src=rng.choice(("Europe", "Asia")),
+                dst=rng.choice(("Asia", "North America")),
+            ),
+            tag="cascade",
+        ),
+        CampaignJob(
+            query=FORENSIC_TEMPLATE.format(
+                src=rng.choice(("European", "Asian")),
+                dst=rng.choice(("Asian", "North America")),
+            ),
+            tag="forensic",
+        ),
+    ]
+    rng.shuffle(pool)
+    return pool[:jobs]
+
+
+def _digests_for(world, backend: str, jobs, incidents=None,
+                 cache_enabled=True) -> dict[str, str]:
+    broker = QueryBroker(
+        world,
+        incidents=incidents,
+        config=ServeConfig(workers=2, backend=backend,
+                           cache_enabled=cache_enabled),
+    ).start()
+    try:
+        report = run_campaign(broker, jobs, timeout=480)
+        digests = {}
+        for job_spec, ticket in zip(jobs, report.tickets):
+            job = broker.job(ticket)
+            assert job.state is JobState.DONE, (
+                f"{backend}/{job_spec.tag}: {job.error}"
+            )
+            digests[job_spec.tag] = job.result.artifact_digest()
+    finally:
+        broker.shutdown()
+    return digests
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_randomized_campaign_digests_identical_across_backends(diff_world, seed):
+    jobs = random_campaign(diff_world, seed)
+    incident = make_latency_incident(diff_world, diff_world.cable_names()[0])
+    thread = _digests_for(diff_world, "thread", jobs, incidents=[incident])
+    process = _digests_for(diff_world, "process", jobs, incidents=[incident])
+    assert thread == process
+    assert len(thread) == len(jobs)
+    assert all(len(d) == 64 for d in thread.values())
+
+
+def test_digests_stable_across_cache_modes(diff_world):
+    """The artifact cache must change economics, never bytes."""
+    jobs = random_campaign(diff_world, seed=5, jobs=2)
+    cached = _digests_for(diff_world, "thread", jobs, cache_enabled=True)
+    uncached = _digests_for(diff_world, "thread", jobs, cache_enabled=False)
+    assert cached == uncached
+
+
+def test_epoch_shard_forensic_job_identical_across_backends(diff_world):
+    """The forensic loop's evolved-world shards (base world + injected
+    incidents) must also serve byte-identical artifacts on both backends —
+    incidents travel inside the process backend's payload template."""
+    cable = diff_world.cable_names()[0]
+    incidents = [make_latency_incident(diff_world, cable)]
+    query = FORENSIC_TEMPLATE.format(src="European", dst="Asian")
+    digests = {}
+    for backend in ("thread", "process"):
+        broker = QueryBroker(
+            config=ServeConfig(workers=2, backend=backend)
+        ).start()
+        try:
+            broker.add_world("epoch", diff_world, incidents=incidents)
+            ticket = broker.submit(query, priority=100, world_key="epoch")
+            digests[backend] = broker.result(ticket, timeout=480).artifact_digest()
+        finally:
+            broker.shutdown()
+    assert digests["thread"] == digests["process"]
+
+
+@pytest.mark.slow
+def test_campaign_report_aggregates_identical_across_backends(diff_world):
+    """Beyond per-job bytes: the cross-scenario aggregation (top exposed
+    countries) must match, since it is derived purely from the artifacts."""
+    spec = CampaignSpec.for_world(diff_world, limit=3, disasters=False)
+    tops = {}
+    for backend in ("thread", "process"):
+        broker = QueryBroker(
+            diff_world, config=ServeConfig(workers=2, backend=backend)
+        ).start()
+        try:
+            report = run_campaign(broker, spec, timeout=480)
+            assert report.all_succeeded
+            tops[backend] = report.top_countries
+        finally:
+            broker.shutdown()
+    assert tops["thread"] == tops["process"]

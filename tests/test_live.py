@@ -296,6 +296,88 @@ def test_detector_bank_republishes_alerts():
     assert bank.first_alert_epoch(kind="bgp_burst") is None
 
 
+def _bgp_message(epoch, count):
+    return {"kind": "bgp", "epoch": epoch, "window_end": (epoch + 1) * 3600.0,
+            "update_count": count, "withdrawals": 0, "collector": "rrc-sim"}
+
+
+def test_detector_bank_dedups_duplicate_alerts_within_epoch():
+    """Two burst messages in the same epoch would alarm twice; the bank
+    canonicalizes them to one alert and counts the duplicate."""
+    bus = EventBus()
+    bank = DetectorBank(bus, bgp=BGPBurstDetector(warmup=1, burst_factor=2.0,
+                                                  min_updates=10))
+    listener = bus.subscribe(ALERTS_TOPIC)
+    bus.publish(BGP_TOPIC, _bgp_message(0, 5))        # warmup
+    bus.publish(BGP_TOPIC, _bgp_message(1, 100))      # burst
+    bus.publish(BGP_TOPIC, _bgp_message(1, 100))      # duplicate, same epoch
+    fresh = bank.process_pending()
+    assert [a.epoch for a in fresh] == [1]
+    assert bank.duplicates_dropped == 1
+    assert len(listener.drain()) == 1
+    # The same series bursting in a *later* epoch is a new alert.
+    bus.publish(BGP_TOPIC, _bgp_message(2, 100))
+    assert [a.epoch for a in bank.process_pending()] == [2]
+    # The dedup memory is pruned as epochs advance, not hoarded forever.
+    bus.publish(BGP_TOPIC, _bgp_message(9, 100))
+    bank.process_pending()
+    assert all(key[0] >= 8 for key in bank._seen)
+
+
+def test_detector_bank_output_is_canonical_across_drain_order():
+    """The alert sequence must not depend on which subscription drains
+    first: publishing bgp-then-rtt and rtt-then-bgp yield identical
+    batches, ordered by the canonical sort key."""
+    def run(publish_rtt_first):
+        bus = EventBus()
+        bank = DetectorBank(
+            bus,
+            rtt=RTTChangeDetector(warmup=3, threshold=4.0),
+            bgp=BGPBurstDetector(warmup=1, burst_factor=2.0, min_updates=10),
+        )
+        def rtt_messages():
+            for epoch in range(8):
+                rtt = 70.0 if epoch < 6 else 160.0
+                bus.publish(TRACEROUTE_TOPIC,
+                            _traceroute_message(epoch, {"A->B": rtt}))
+        def bgp_messages():
+            bus.publish(BGP_TOPIC, _bgp_message(0, 5))
+            bus.publish(BGP_TOPIC, _bgp_message(6, 100))
+        if publish_rtt_first:
+            rtt_messages(); bgp_messages()
+        else:
+            bgp_messages(); rtt_messages()
+        return [a.to_dict() for a in bank.process_pending()]
+
+    first = run(publish_rtt_first=True)
+    second = run(publish_rtt_first=False)
+    assert first == second
+    keys = [(a["epoch"], -a["magnitude"]) for a in first]
+    assert keys == sorted(keys)
+
+
+def test_first_alert_tie_breaks_deterministically():
+    """Epoch ties resolve by magnitude then lexical identity — never by
+    whichever subscription happened to drain first."""
+    from repro.live import Alert
+
+    bus = EventBus()
+    bank = DetectorBank(bus)
+    bank.alerts = [
+        Alert(detector="rtt-cusum", kind="rtt_shift", series_key="B->C",
+              epoch=5, ts=0.0, magnitude=10.0),
+        Alert(detector="rtt-cusum", kind="rtt_shift", series_key="A->B",
+              epoch=5, ts=0.0, magnitude=90.0),
+        Alert(detector="bgp-burst", kind="bgp_burst", series_key="rrc-sim",
+              epoch=7, ts=0.0, magnitude=99.0),
+    ]
+    first = bank.first_alert()
+    assert (first.series_key, first.magnitude) == ("A->B", 90.0)
+    assert bank.first_alert_epoch() == 5
+    assert bank.first_alert(kind="bgp_burst").epoch == 7
+    assert bank.first_alert(kind="rtt_loss") is None
+
+
 # -- standing queries --------------------------------------------------------
 
 

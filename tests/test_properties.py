@@ -5,6 +5,8 @@ import math
 from hypothesis import given, settings, strategies as st
 
 from repro.analysis.changepoint import cusum_change_point
+from repro.bgp.collector import BGPCollectorSim
+from repro.synth.world import WorldConfig, build_world
 from repro.analysis.evidence import EvidenceItem, synthesize_evidence
 from repro.analysis.scoring import rank_suspects
 from repro.analysis.stats import mad, median, robust_zscores
@@ -222,3 +224,80 @@ def test_cycle_always_detected(n):
         raise AssertionError("cycle not detected")
     except WorkflowValidationError:
         pass
+
+
+# -- incremental route convergence --------------------------------------------------
+
+# Module-level substrate shared by every example: building the world once is
+# what keeps ~dozens of hypothesis examples cheap.  The collector is shared
+# too, deliberately — the incremental path must equal the full recompute
+# regardless of which failure states happened to be cached by prior examples.
+_ROUTING_WORLD = build_world(WorldConfig(seed=3, tier1_count=6,
+                                         tier2_per_region=2, edge_density=0.5))
+_ROUTING_SIM = BGPCollectorSim(_ROUTING_WORLD)
+_CABLE_LINK_IDS = sorted(l.id for l in _ROUTING_WORLD.ip_links if l.cable_id)
+
+failure_sets = st.lists(
+    st.sampled_from(_CABLE_LINK_IDS), max_size=6, unique=True
+).map(frozenset)
+
+
+@settings(max_examples=25, deadline=None)
+@given(failure_sets)
+def test_incremental_routes_equal_full_for_random_failures(failed):
+    """The affected-frontier incremental table must be indistinguishable
+    from a from-scratch SPF for every failure set, whatever the cache
+    history looks like when the set is first encountered."""
+    assert _ROUTING_SIM.routes_under(failed) == _ROUTING_SIM.routes_under_full(failed)
+
+
+@settings(max_examples=25, deadline=None)
+@given(failure_sets)
+def test_frontier_recompute_never_exceeds_full(failed):
+    """On a cache miss, every peer is either recomputed or structurally
+    shared — and the recomputed frontier can never exceed the full
+    recompute's per-peer work."""
+    before = dict(_ROUTING_SIM.cache_info())
+    _ROUTING_SIM.routes_under(failed)
+    after = _ROUTING_SIM.cache_info()
+    peers = len(_ROUTING_SIM.peers)
+    recomputed = after["peers_recomputed"] - before["peers_recomputed"]
+    shared = after["peers_shared"] - before["peers_shared"]
+    assert 0 <= recomputed <= peers
+    if after["misses"] > before["misses"] and after["incremental_recomputes"] > before["incremental_recomputes"]:
+        # A fresh incremental entry accounts for every peer exactly once.
+        assert recomputed + shared == peers
+    if after["misses"] == before["misses"]:
+        # A pure cache hit does zero convergence work.
+        assert recomputed == 0 and shared == 0
+
+
+@settings(max_examples=15, deadline=None)
+@given(failure_sets)
+def test_route_cache_hit_returns_identical_table(failed):
+    first = _ROUTING_SIM.routes_under(failed)
+    before = _ROUTING_SIM.cache_info()["hits"]
+    second = _ROUTING_SIM.routes_under(failed)
+    assert _ROUTING_SIM.cache_info()["hits"] == before + 1
+    assert second is first  # memoized, not recomputed
+
+
+@settings(max_examples=15, deadline=None)
+@given(failure_sets)
+def test_failures_never_create_routes(failed):
+    """Severing links can only withdraw or reroute — a (peer, prefix) pair
+    unroutable at baseline cannot become routable under failures."""
+    baseline = _ROUTING_SIM.routes_under(frozenset())
+    degraded = _ROUTING_SIM.routes_under(failed)
+    assert set(degraded) <= set(baseline)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.lists(failure_sets, min_size=1, max_size=4))
+def test_baseline_survives_arbitrary_failure_history(history):
+    """The pinned baseline entry must stay byte-equal to a fresh full SPF
+    no matter what failure states were computed (and evicted) in between."""
+    for failed in history:
+        _ROUTING_SIM.routes_under(failed)
+    assert (_ROUTING_SIM.routes_under(frozenset())
+            == _ROUTING_SIM.routes_under_full(frozenset()))

@@ -124,6 +124,37 @@ def test_scheduler_per_shard_stats():
     assert scheduler.stats()["per_shard_queued"] == {"w1": 2, "w2": 1}
 
 
+def test_scheduler_priority_band_stats():
+    scheduler = PriorityScheduler()
+    scheduler.push("standing", priority=0)
+    scheduler.push("forensic", priority=100)
+    scheduler.push("campaign", priority=0)
+    assert scheduler.stats()["pushed_by_priority"] == {0: 2, 100: 1}
+
+
+def test_scheduler_counts_preemptions():
+    """A pop that services a high band while lower-priority work waits is a
+    preemption; FIFO pops within one band are not."""
+    scheduler = PriorityScheduler()
+    scheduler.push("low-1", priority=0)
+    scheduler.push("low-2", priority=0)
+    scheduler.push("urgent", priority=100)
+    assert scheduler.pop() == "urgent"
+    assert scheduler.stats()["preemptions"] == 1
+    assert scheduler.pop() == "low-1"
+    assert scheduler.pop() == "low-2"
+    assert scheduler.stats()["preemptions"] == 1
+
+
+def test_scheduler_pop_batch_counts_preemptions():
+    scheduler = PriorityScheduler()
+    scheduler.push("low", priority=0)
+    scheduler.push("hi-1", priority=5)
+    scheduler.push("hi-2", priority=5)
+    assert scheduler.pop_batch(2) == ["hi-1", "hi-2"]
+    assert scheduler.stats()["preemptions"] == 2
+
+
 # -- worker pool ------------------------------------------------------------
 
 
@@ -249,6 +280,17 @@ def test_broker_priority_order_single_worker(world):
     # The high-priority job must have started first.
     assert (broker.ledger.get(high).started_at
             <= broker.ledger.get(low).started_at)
+    broker.shutdown()
+
+
+def test_broker_tracks_submissions_per_priority_band(world):
+    broker = QueryBroker(world, config=ServeConfig(workers=1))
+    broker.submit(CS1, priority=0)
+    broker.submit(CS1, priority=0)
+    broker.submit(CS1_FALCON, priority=100)
+    stats = broker.stats()
+    assert stats["submitted_by_priority"] == {0: 2, 100: 1}
+    assert stats["scheduler"]["pushed_by_priority"] == {0: 2, 100: 1}
     broker.shutdown()
 
 
