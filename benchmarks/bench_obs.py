@@ -1,0 +1,254 @@
+"""O1 — Observability plane: tracing overhead and span completeness.
+
+Two sections:
+
+1. **Overhead** — the same CPU-bound campaign (thread backend, cache off,
+   zero LLM latency) through a broker with tracing disabled (the
+   :data:`~repro.obs.NULL_TRACER` fast path) and with tracing enabled.
+   Repeats are interleaved and each configuration keeps its best run, so
+   machine drift hits both sides equally; enabling full tracing must cost
+   less than :data:`MAX_OVERHEAD_PCT` percent of throughput.
+2. **Completeness** — a traced campaign through the *process* backend:
+   every job's trace must contain the full broker-to-worker span chain
+   (``job``, ``queue.wait``, ``dispatch``, ``worker.execute``,
+   ``pipeline.answer`` plus at least one ``stage.*`` span) with at least
+   one span recorded in a worker process — proof the context crossed the
+   pickle boundary and the records came back over the reply pipes.  The
+   section also exports the trace (Chrome trace-event JSON) and the
+   metrics registry (Prometheus text) as artifacts CI uploads.
+
+Standalone (what CI smokes)::
+
+    PYTHONPATH=src python benchmarks/bench_obs.py --smoke
+
+or as pytest::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_obs.py -s
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from repro.serve import CampaignJob, JobState, QueryBroker, ServeConfig, run_campaign
+from repro.serve.campaign import CABLE_IMPACT_TEMPLATE, DISASTER_TEMPLATE
+from repro.obs import TraceSink
+from repro.synth.world import WorldConfig, build_world
+
+#: Acceptance thresholds this benchmark demonstrates.
+MAX_OVERHEAD_PCT = 5.0  # traced vs null-traced throughput, full run
+#: The CI smoke measures tiny campaigns on loaded shared runners, where
+#: run-to-run jitter alone exceeds the full-run bar; the real 5% gate is
+#: enforced by full runs of bench_runner.py against the committed baseline.
+SMOKE_MAX_OVERHEAD_PCT = 15.0
+MIN_SPAN_COMPLETENESS = 1.0  # every traced job shows the full chain
+#: Span names every broker-to-worker trace must contain.
+REQUIRED_SPANS = frozenset(
+    {"job", "queue.wait", "dispatch", "worker.execute", "pipeline.answer"}
+)
+
+
+def build_jobs(world, count: int) -> list[CampaignJob]:
+    """``count`` textually distinct scenario queries (cache can never
+    collapse two of them into one pipeline run)."""
+    jobs = [
+        CampaignJob(query=CABLE_IMPACT_TEMPLATE.format(cable=cable),
+                    tag=f"cable:{cable}")
+        for cable in world.cable_names()
+    ]
+    step = 0
+    while len(jobs) < count:
+        kind = ("earthquake", "hurricane")[step % 2]
+        probability = 0.05 + 0.01 * (step // 2)
+        jobs.append(CampaignJob(
+            query=DISASTER_TEMPLATE.format(kind=kind, probability=probability),
+            tag=f"disaster:{kind}:{probability:.2f}",
+        ))
+        step += 1
+    return jobs[:count]
+
+
+def run_campaign_once(world, jobs, workers: int, tracing: bool) -> float:
+    """One cold campaign on a fresh thread-backend broker; jobs/sec."""
+    broker = QueryBroker(
+        world,
+        config=ServeConfig(workers=workers, backend="thread",
+                           cache_enabled=False, tracing=tracing),
+    ).start()
+    try:
+        report = run_campaign(broker, jobs)
+        assert report.failed == 0, (
+            f"tracing={tracing}: {report.failed} jobs failed"
+        )
+        return report.jobs_per_sec
+    finally:
+        broker.shutdown()
+
+
+def measure_overhead(world, jobs, workers: int, repeats: int) -> dict:
+    """Interleaved best-of-``repeats`` null vs traced throughput."""
+    null_best = traced_best = 0.0
+    for i in range(repeats):
+        null_jps = run_campaign_once(world, jobs, workers, tracing=False)
+        traced_jps = run_campaign_once(world, jobs, workers, tracing=True)
+        null_best = max(null_best, null_jps)
+        traced_best = max(traced_best, traced_jps)
+        print(f"  repeat {i + 1}/{repeats}: null {null_jps:6.1f} jobs/s  "
+              f"traced {traced_jps:6.1f} jobs/s")
+    overhead_pct = max(0.0, (null_best - traced_best) / null_best * 100.0)
+    print(f"  best-of-{repeats}: null {null_best:.1f} vs traced "
+          f"{traced_best:.1f} jobs/s -> {overhead_pct:.1f}% overhead")
+    return {
+        "null_jobs_per_sec": round(null_best, 2),
+        "traced_jobs_per_sec": round(traced_best, 2),
+        "overhead_pct": round(overhead_pct, 2),
+    }
+
+
+def _trace_complete(trace: list[dict], broker_pid: int) -> bool:
+    names = {r["name"] for r in trace}
+    return (REQUIRED_SPANS <= names
+            and any(n.startswith("stage.") for n in names)
+            and any(r["pid"] != broker_pid for r in trace))
+
+
+def measure_completeness(world, jobs, workers: int,
+                         trace_out: str, metrics_out: str) -> dict:
+    """Traced process-backend campaign: per-job span-chain completeness.
+
+    Also writes the two CI artifacts: the Chrome trace-event JSON and the
+    Prometheus text dump of the broker's unified registry.
+    """
+    broker = QueryBroker(
+        world,
+        config=ServeConfig(workers=workers, backend="process",
+                           cache_enabled=False, tracing=True),
+    ).start()
+    try:
+        tickets = [broker.submit(job.query) for job in jobs]
+        done = [broker.wait(ticket) for ticket in tickets]
+        assert all(j.state is JobState.DONE for j in done), (
+            f"states: {[j.state.value for j in done]}"
+        )
+        records = broker.tracer.records()
+        broker_pid = os.getpid()
+        complete = sum(
+            1 for job in done
+            if _trace_complete(
+                [r for r in records if r["trace_id"] == job.trace_id],
+                broker_pid,
+            )
+        )
+        completeness = complete / len(done) if done else 0.0
+
+        trace_path = TraceSink(trace_out).write(records) if trace_out else None
+        if metrics_out:
+            with open(metrics_out, "w", encoding="utf-8") as handle:
+                handle.write(broker.metrics.prometheus_text())
+        snapshot = broker.metrics.snapshot()
+    finally:
+        broker.shutdown()
+
+    worker_pids = sorted({r["pid"] for r in records if r["pid"] != broker_pid})
+    print(f"  {complete}/{len(done)} jobs show the full span chain "
+          f"({completeness:.0%}); {len(records)} spans across "
+          f"{1 + len(worker_pids)} processes")
+    if trace_path:
+        print(f"  wrote {trace_path}")
+    if metrics_out:
+        print(f"  wrote {metrics_out}")
+    gauges = snapshot.get("gauges", {})
+    counters = snapshot.get("counters", {})
+    return {
+        "jobs": len(done),
+        "span_completeness": round(completeness, 4),
+        "spans": len(records),
+        "worker_processes": len(worker_pids),
+        "registry_gauges": len(gauges),
+        "registry_counters": len(counters),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=24,
+                        help="campaign size for the overhead comparison")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="interleaved repeats per tracing configuration")
+    parser.add_argument("--trace-jobs", type=int, default=6,
+                        help="campaign size for the completeness section")
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--trace-workers", type=int, default=2,
+                        help="process-pool size for the completeness section")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI preset: 8 jobs, 2 repeats, 4 traced jobs")
+    parser.add_argument("--no-assert", action="store_true",
+                        help="report only; skip threshold assertions")
+    parser.add_argument("--out", default="BENCH_obs.json",
+                        help="write the result summary here ('' disables)")
+    parser.add_argument("--trace-out", default="TRACE_obs.json",
+                        help="Chrome trace-event artifact ('' disables)")
+    parser.add_argument("--metrics-out", default="METRICS_obs.prom",
+                        help="Prometheus text artifact ('' disables)")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.jobs, args.repeats, args.trace_jobs = 8, 2, 4
+
+    world = build_world(WorldConfig(seed=7))
+
+    print(f"\n=== tracing overhead — {args.jobs} CPU-bound jobs, "
+          f"{args.workers} thread workers, best of {args.repeats} ===")
+    overhead = measure_overhead(
+        world, build_jobs(world, args.jobs), args.workers, args.repeats
+    )
+
+    print(f"\n=== span completeness — {args.trace_jobs} jobs, "
+          f"{args.trace_workers} process workers, tracing on ===")
+    completeness = measure_completeness(
+        world, build_jobs(world, args.trace_jobs), args.trace_workers,
+        args.trace_out, args.metrics_out,
+    )
+
+    if args.out:
+        summary = {
+            "benchmark": "obs",
+            "jobs": args.jobs,
+            "repeats": args.repeats,
+            **overhead,
+            **{k: v for k, v in completeness.items() if k != "jobs"},
+            "trace_jobs": completeness["jobs"],
+        }
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(summary, handle, indent=1)
+        print(f"  wrote {args.out}")
+
+    if not args.no_assert:
+        max_overhead = SMOKE_MAX_OVERHEAD_PCT if args.smoke else MAX_OVERHEAD_PCT
+        assert overhead["overhead_pct"] <= max_overhead, (
+            f"tracing overhead {overhead['overhead_pct']:.1f}% above "
+            f"{max_overhead}%"
+        )
+        assert completeness["span_completeness"] >= MIN_SPAN_COMPLETENESS, (
+            f"span completeness {completeness['span_completeness']:.0%} below "
+            f"{MIN_SPAN_COMPLETENESS:.0%}"
+        )
+        print(f"  thresholds met: <={max_overhead}% tracing overhead, "
+              f">={MIN_SPAN_COMPLETENESS:.0%} span completeness")
+    return 0
+
+
+def test_obs_smoke(tmp_path):
+    """Pytest entry point: the CI smoke preset must meet both thresholds."""
+    assert main([
+        "--smoke",
+        "--out", str(tmp_path / "BENCH_obs.json"),
+        "--trace-out", str(tmp_path / "TRACE_obs.json"),
+        "--metrics-out", str(tmp_path / "METRICS_obs.prom"),
+    ]) == 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

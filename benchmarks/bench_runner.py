@@ -1,12 +1,17 @@
 """Benchmark runner + regression gate for the serve/routing/forensic hot paths.
 
-Runs the serve-throughput, incremental-routing and forensic-loop
-benchmarks (each writes its ``BENCH_*.json``), then gates the combined
-results against the committed floor in ``benchmarks/bench_baseline.json``
-— warm-cache hit rate, worker/backends speedups, convergence speedups and
-the closed-loop forensic guarantees (one completed case per incident,
-warm replays submitting nothing) must not regress below it.  CI runs this
-as a smoke step; a failing gate fails the build.
+Runs the serve-throughput, incremental-routing, forensic-loop and
+observability benchmarks (each writes its ``BENCH_*.json``), then gates
+the combined results against the committed floor in
+``benchmarks/bench_baseline.json`` — warm-cache hit rate, worker/backends
+speedups, convergence speedups, the closed-loop forensic guarantees (one
+completed case per incident, warm replays submitting nothing) and the
+tracing-plane guarantees (near-zero overhead when disabled, complete
+broker-to-worker span chains when enabled) must not regress below it.
+Every emitted ``BENCH_*.json`` is stamped with run metadata (git sha,
+cpu count, python version, per-benchmark wall time) so archived artifacts
+are comparable across machines and commits.  CI runs this as a smoke
+step; a failing gate fails the build.
 
 Usage::
 
@@ -19,16 +24,21 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import platform
+import subprocess
 import sys
+import time
 
 import bench_forensic_loop
 import bench_incremental_routing
+import bench_obs
 import bench_serve_throughput
 
 BASELINE_PATH = os.path.join(os.path.dirname(__file__), "bench_baseline.json")
 SERVE_OUT = "BENCH_serve.json"
 ROUTING_OUT = "BENCH_routing.json"
 FORENSIC_OUT = "BENCH_forensic_loop.json"
+OBS_OUT = "BENCH_obs.json"
 
 
 def _gate(checks: list[tuple[str, bool, str]]) -> bool:
@@ -37,6 +47,31 @@ def _gate(checks: list[tuple[str, bool, str]]) -> bool:
         print(f"  {'PASS' if passed else 'FAIL'}  {name}: {detail}")
         ok = ok and passed
     return ok
+
+
+def _git_sha() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True, text=True, check=True, timeout=10,
+        ).stdout.strip()
+    except Exception:  # not a checkout, git missing, ... — metadata only
+        return "unknown"
+
+
+def _stamp_meta(path: str, wall_s: float, sha: str) -> None:
+    """Inject run metadata into an emitted BENCH_*.json (in place)."""
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    payload["meta"] = {
+        "git_sha": sha,
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "bench_wall_s": round(wall_s, 2),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -52,14 +87,29 @@ def main(argv: list[str] | None = None) -> int:
     serve_args = ["--no-assert", "--out", SERVE_OUT]
     routing_args = ["--no-assert", "--out", ROUTING_OUT]
     forensic_args = ["--no-assert", "--out", FORENSIC_OUT]
+    obs_args = ["--no-assert", "--out", OBS_OUT]
     if args.smoke:
         serve_args.append("--smoke")
         routing_args.extend(["--repeats", "2"])
         forensic_args.append("--smoke")
+        obs_args.append("--smoke")
 
-    bench_serve_throughput.main(serve_args)
-    bench_incremental_routing.main(routing_args)
-    bench_forensic_loop.main(forensic_args)
+    benches = [
+        ("serve", bench_serve_throughput, serve_args, SERVE_OUT),
+        ("routing", bench_incremental_routing, routing_args, ROUTING_OUT),
+        ("forensic", bench_forensic_loop, forensic_args, FORENSIC_OUT),
+        ("obs", bench_obs, obs_args, OBS_OUT),
+    ]
+    sha = _git_sha()
+    wall: dict[str, float] = {}
+    for name, module, bench_argv, out in benches:
+        started = time.perf_counter()
+        module.main(bench_argv)
+        wall[name] = time.perf_counter() - started
+        _stamp_meta(out, wall[name], sha)
+    print("\n=== wall time per benchmark ===")
+    for name in wall:
+        print(f"  {name:<10s} {wall[name]:7.1f}s")
 
     with open(SERVE_OUT, encoding="utf-8") as handle:
         serve = json.load(handle)
@@ -67,6 +117,8 @@ def main(argv: list[str] | None = None) -> int:
         routing = json.load(handle)
     with open(FORENSIC_OUT, encoding="utf-8") as handle:
         forensic = json.load(handle)
+    with open(OBS_OUT, encoding="utf-8") as handle:
+        obs = json.load(handle)
 
     if args.no_gate:
         return 0
@@ -74,8 +126,12 @@ def main(argv: list[str] | None = None) -> int:
     with open(args.baseline, encoding="utf-8") as handle:
         base = json.load(handle)
     sbase, rbase = base["serve"], base["routing"]
-    fbase = base["forensic"]
+    fbase, obase = base["forensic"], base["obs"]
     cores = serve.get("cores", bench_serve_throughput.available_cores())
+    # Tiny smoke campaigns jitter more than the full-run overhead bar; the
+    # baseline carries a dedicated (looser) smoke ceiling for them.
+    max_overhead = (obase["smoke_max_overhead_pct"] if args.smoke
+                    else obase["max_overhead_pct"])
 
     print(f"\n=== regression gate vs {os.path.relpath(args.baseline)} ===")
     checks = [
@@ -125,6 +181,15 @@ def main(argv: list[str] | None = None) -> int:
          f"{forensic['warm_trigger_hit_rate']:.0%} warm triggered-query "
          f"cache hits (floor {fbase['min_warm_trigger_hit_rate']:.0%}; "
          f"{forensic['warm_queries_submitted']} warm submissions)"),
+        ("tracing overhead",
+         obs["overhead_pct"] <= max_overhead,
+         f"{obs['overhead_pct']:.1f}% traced vs null throughput "
+         f"(ceiling {max_overhead}%)"),
+        ("span completeness",
+         obs["span_completeness"] >= obase["min_span_completeness"],
+         f"{obs['span_completeness']:.0%} of process-backend jobs show the "
+         f"full broker-to-worker span chain "
+         f"(floor {obase['min_span_completeness']:.0%})"),
     ]
     if cores >= 2:
         checks.append((

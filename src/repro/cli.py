@@ -105,6 +105,17 @@ def build_parser() -> argparse.ArgumentParser:
                       help="replay N overlapping catalog disasters with "
                            "disjoint cable footprints instead of the single "
                            "canonical cable cut (default 0 = single cut)")
+    obs = parser.add_argument_group("observability")
+    obs.add_argument("--trace-out", metavar="PATH",
+                     help="enable tracing and write a Chrome trace-event "
+                          "JSON file (load at ui.perfetto.dev): spans from "
+                          "broker submit through worker pipeline stages, "
+                          "epoch ticks, alerts and forensic cases")
+    obs.add_argument("--metrics-dump", nargs="?", const="-", metavar="PATH",
+                     help="after the run, dump the unified metrics registry "
+                          "(queue depth, affinity/cache hit rates, bus "
+                          "drops, ...) in Prometheus text format to PATH "
+                          "('-' or no value = stdout)")
     return parser
 
 
@@ -114,7 +125,26 @@ def _serve_config(args) -> "ServeConfig":
     return ServeConfig(workers=args.workers, backend=args.backend,
                        cache_enabled=not args.no_cache,
                        affinity=not args.no_affinity,
-                       dispatch_batch=args.dispatch_batch)
+                       dispatch_batch=args.dispatch_batch,
+                       tracing=bool(args.trace_out))
+
+
+def _dump_obs(args, broker) -> None:
+    """Write the --trace-out / --metrics-dump artifacts from a broker."""
+    if args.trace_out:
+        from repro.obs import TraceSink
+
+        records = broker.tracer.records()
+        path = TraceSink(args.trace_out).write(records)
+        print(f"trace:    {len(records)} spans -> {path}", file=sys.stderr)
+    if args.metrics_dump:
+        text = broker.metrics.prometheus_text()
+        if args.metrics_dump == "-":
+            sys.stdout.write(text)
+        else:
+            with open(args.metrics_dump, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            print(f"metrics:  -> {args.metrics_dump}", file=sys.stderr)
 
 
 def _effective_cache_dir(args) -> str | None:
@@ -171,6 +201,7 @@ def run_batch(args, world, registry, incidents) -> int:
         ledger_summary = broker.ledger.summary()
         backend_stats = broker.stats()["backend"]
         _spill_cache(broker, cache_file)
+        _dump_obs(args, broker)
 
     if args.json:
         payload = report.to_dict()
@@ -240,6 +271,7 @@ def run_serve(args, world, registry, incidents, stream=None) -> int:
                     print(f"{job.ticket} FAILED {job.error[:80]} :: {query[:60]}")
         stats = broker.stats()
         _spill_cache(broker, cache_file)
+        _dump_obs(args, broker)
     cache = stats.get("cache")
     if args.json:
         print(json.dumps({"jobs": rows, "cache": cache,
@@ -274,6 +306,7 @@ def run_live(args, world, registry) -> int:
         cache_dir=_effective_cache_dir(args),
         max_epoch_shards=args.max_epoch_shards,
         forensics=args.forensics,
+        tracing=bool(args.trace_out),
     )
     if args.concurrent_events:
         try:
@@ -300,8 +333,23 @@ def run_live(args, world, registry) -> int:
             cable_name=args.incident,
             cut_epoch=default_cut_epoch(args.epochs),
         )
-    report = run_live_replay(world=world, timeline_events=timeline,
-                             config=config, registry=registry)
+    # With obs flags the CLI owns the broker: the driver would otherwise
+    # shut its internal one down before we could export its tracer/registry.
+    broker = None
+    if args.trace_out or args.metrics_dump:
+        from repro.serve import QueryBroker
+
+        broker = QueryBroker(world, registry=registry,
+                             config=_serve_config(args)).start()
+    try:
+        report = run_live_replay(world=world, timeline_events=timeline,
+                                 config=config, registry=registry,
+                                 broker=broker)
+        if broker is not None:
+            _dump_obs(args, broker)
+    finally:
+        if broker is not None:
+            broker.shutdown()
 
     if args.json:
         print(json.dumps(report.to_dict(), indent=1, default=str))
@@ -406,7 +454,21 @@ def main(argv: list[str] | None = None) -> int:
     system = ArachNet.for_world(
         world, registry=registry, incidents=incidents, curate=not args.no_curate
     )
-    result = system.answer(args.query)
+    tracer = None
+    if args.trace_out:
+        from repro.obs import Tracer
+
+        tracer = Tracer(label="main")
+    if args.metrics_dump:
+        print("warning: --metrics-dump needs a broker registry; it applies "
+              "to --serve/--batch/--live only", file=sys.stderr)
+    result = system.answer(args.query, tracer=tracer)
+    if tracer is not None:
+        from repro.obs import TraceSink
+
+        records = tracer.records()
+        path = TraceSink(args.trace_out).write(records)
+        print(f"trace:    {len(records)} spans -> {path}", file=sys.stderr)
 
     if args.json:
         payload = result.to_dict()

@@ -39,6 +39,7 @@ from repro.core.executor import execute_solution
 from repro.core.llm.client import LLMClient
 from repro.core.llm.simulated import SimulatedLLM
 from repro.core.registry import Registry, default_registry
+from repro.obs import resolve_tracer
 from repro.synth.geography import Region
 from repro.synth.scenarios import SECONDS_PER_DAY
 from repro.synth.world import SyntheticWorld
@@ -266,20 +267,45 @@ class ArachNet:
         query: str,
         params: dict | None = None,
         observer: StageObserver | None = None,
+        tracer=None,
+        trace_parent=None,
     ) -> PipelineResult:
-        """Run the full pipeline for one natural-language query."""
+        """Run the full pipeline for one natural-language query.
+
+        ``tracer``/``trace_parent`` hook the run into the obs plane: one
+        ``pipeline.answer`` span with a child span per stage, cache hits
+        annotated.  Spans are recorded off to the side — they never touch
+        the ``PipelineResult``, so artifact digests stay byte-identical
+        whether tracing is on or off.
+        """
+        tracer = resolve_tracer(tracer)
+        root = tracer.start_span("pipeline.answer", parent=trace_parent,
+                                 cat="pipeline", query=query)
         trace: list[StageTrace] = []
 
         def observe(record: StageTrace) -> None:
             trace.append(record)
+            if tracer.enabled:
+                tracer.add_span(
+                    "stage." + record.agent,
+                    parent=root,
+                    cat="stage",
+                    duration_s=record.duration_s,
+                    artifact=record.artifact_kind,
+                    cache_hit=record.cache_hit,
+                )
             if observer is not None:
                 observer(record)
 
-        analysis = self.run_analysis(query, observe)
-        design = self.run_design(analysis, observe)
-        solution = self.run_solution(design, analysis, observe)
-        execution = self.run_execution(solution, design, analysis, params, observe)
-        curator_report = self.run_curation(design, execution, observe) if self.curate else None
+        try:
+            analysis = self.run_analysis(query, observe)
+            design = self.run_design(analysis, observe)
+            solution = self.run_solution(design, analysis, observe)
+            execution = self.run_execution(solution, design, analysis, params, observe)
+            curator_report = self.run_curation(design, execution, observe) if self.curate else None
+            root.annotate(succeeded=execution.succeeded)
+        finally:
+            root.end()
 
         return PipelineResult(
             query=query,

@@ -57,6 +57,7 @@ from repro.live.standing import (
 from repro.live.telemetry import (
     ALERTS_TOPIC,
     BGP_TOPIC,
+    METRICS_TOPIC,
     TRACEROUTE_TOPIC,
     BGPFeed,
     TracerouteFeed,
@@ -64,6 +65,7 @@ from repro.live.telemetry import (
 
 __all__ = [
     "ALERTS_TOPIC",
+    "METRICS_TOPIC",
     "Alert",
     "BGPBurstDetector",
     "BGPFeed",

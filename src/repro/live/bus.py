@@ -11,14 +11,20 @@ smallest honest model of the backpressure story a real streaming deployment
 from __future__ import annotations
 
 import itertools
+import logging
 import threading
 from collections import deque
+
+from repro.obs import MetricsRegistry
+
+logger = logging.getLogger(__name__)
 
 
 class Subscription:
     """One subscriber's bounded view of a topic."""
 
-    def __init__(self, topic: str, name: str, maxlen: int):
+    def __init__(self, topic: str, name: str, maxlen: int,
+                 metrics: MetricsRegistry | None = None):
         if maxlen < 1:
             raise ValueError("maxlen must be >= 1")
         self.topic = topic
@@ -29,16 +35,35 @@ class Subscription:
         self.received = 0
         self.dropped = 0
         self.closed = False
+        self._drop_counter = (
+            metrics.counter("bus_dropped_total",
+                            {"topic": topic, "subscriber": name})
+            if metrics is not None else None
+        )
+        self._warned = False
 
     def _offer(self, item) -> None:
+        warn = False
         with self._lock:
             if self.closed:
                 return
             if len(self._queue) >= self.maxlen:
                 self._queue.popleft()
                 self.dropped += 1
+                if self._drop_counter is not None:
+                    self._drop_counter.inc()
+                # Warn once per subscriber: silent shedding hid real alert
+                # loss; per-message logging would melt a hot topic instead.
+                warn = not self._warned
+                self._warned = True
             self._queue.append(item)
             self.received += 1
+        if warn:
+            logger.warning(
+                "bus subscriber %r on topic %r is full (maxlen=%d) and began "
+                "dropping oldest messages; further drops are counted, not "
+                "logged", self.name, self.topic, self.maxlen,
+            )
 
     def pop(self):
         """Oldest pending message, or ``None`` when empty."""
@@ -72,16 +97,18 @@ class Subscription:
 class EventBus:
     """Topic-based fan-out to bounded subscriber queues (thread-safe)."""
 
-    def __init__(self):
+    def __init__(self, metrics: MetricsRegistry | None = None):
         self._subs: dict[str, list[Subscription]] = {}
         self._lock = threading.Lock()
         self._published: dict[str, int] = {}
         self._names = itertools.count(1)
+        self._metrics = metrics
 
     def subscribe(self, topic: str, name: str | None = None, maxlen: int = 256) -> Subscription:
         if not topic:
             raise ValueError("topic must be non-empty")
-        sub = Subscription(topic, name or f"sub-{next(self._names)}", maxlen)
+        sub = Subscription(topic, name or f"sub-{next(self._names)}", maxlen,
+                           metrics=self._metrics)
         with self._lock:
             self._subs.setdefault(topic, []).append(sub)
         return sub
@@ -98,6 +125,8 @@ class EventBus:
         with self._lock:
             subs = list(self._subs.get(topic, []))
             self._published[topic] = self._published.get(topic, 0) + 1
+        if self._metrics is not None:
+            self._metrics.counter("bus_published_total", {"topic": topic}).inc()
         for sub in subs:
             sub._offer(item)
         return len(subs)

@@ -20,6 +20,7 @@ import hashlib
 import time as _time
 from dataclasses import dataclass
 
+from repro.obs import resolve_tracer
 from repro.synth.scenarios import DisasterEvent, default_disaster_catalog
 from repro.synth.world import SyntheticWorld
 from repro.xaminer.events import event_footprint
@@ -141,10 +142,12 @@ class WorldTimeline:
         clock: SimulationClock | None = None,
         failure_probability: float = 1.0,
         seed: int = 0,
+        tracer=None,
     ):
         self.world = world
         self.events = sorted(events, key=lambda e: (e.start_epoch, e.event.id))
         self.clock = clock or SimulationClock()
+        self.tracer = resolve_tracer(tracer)
         self._world_fp = world.fingerprint()
         self._event_links: dict[str, frozenset[str]] = {}
         self._event_cables: dict[str, tuple[str, ...]] = {}
@@ -193,12 +196,16 @@ class WorldTimeline:
         from the previous epoch — the signal telemetry feeds and standing
         queries key off.
         """
-        epoch, start, end = self.clock.tick()
-        state = self.state_at(epoch, start, end)
-        previous = self._previous
-        changed = previous is None or previous.failed_link_ids != state.failed_link_ids
-        state = dataclasses.replace(state, changed=changed)
-        self._previous = state
+        with self.tracer.span("epoch.tick", cat="live") as span:
+            epoch, start, end = self.clock.tick()
+            state = self.state_at(epoch, start, end)
+            previous = self._previous
+            changed = previous is None or previous.failed_link_ids != state.failed_link_ids
+            state = dataclasses.replace(state, changed=changed)
+            self._previous = state
+            span.annotate(epoch=epoch, fingerprint=state.fingerprint,
+                          changed=changed, fired=len(state.fired_event_ids),
+                          healed=len(state.healed_event_ids))
         return state
 
     def run(self, epochs: int) -> list[EpochState]:

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from repro.analysis.changepoint import StreamingCUSUM
 from repro.live.bus import EventBus, Subscription
 from repro.live.telemetry import ALERTS_TOPIC, BGP_TOPIC, TRACEROUTE_TOPIC
+from repro.obs import MetricsRegistry, resolve_tracer
 
 
 @dataclass(frozen=True)
@@ -177,10 +178,14 @@ class DetectorBank:
         rtt: RTTChangeDetector | None = None,
         bgp: BGPBurstDetector | None = None,
         queue_maxlen: int = 256,
+        tracer=None,
+        metrics: MetricsRegistry | None = None,
     ):
         self.bus = bus
         self.rtt = rtt or RTTChangeDetector()
         self.bgp = bgp or BGPBurstDetector()
+        self.tracer = resolve_tracer(tracer)
+        self._metrics = metrics
         self._rtt_sub: Subscription = bus.subscribe(
             TRACEROUTE_TOPIC, name="detector-rtt", maxlen=queue_maxlen
         )
@@ -220,7 +225,21 @@ class DetectorBank:
             newest = max(a.epoch for a in fresh)
             self._seen = {k for k in self._seen if k[0] >= newest - 1}
         for alert in fresh:
-            self.bus.publish(ALERTS_TOPIC, alert.to_dict())
+            if self._metrics is not None:
+                self._metrics.counter(
+                    "detector_alerts_total", {"kind": alert.kind}).inc()
+            row = alert.to_dict()
+            if self.tracer.enabled:
+                # Each alert mints a trace of its own; the context travels
+                # in the published dict so a forensic case opened for this
+                # alert can parent its span tree under it.
+                ctx = self.tracer.add_span(
+                    "alert." + alert.kind, cat="alert", end_ts=None,
+                    detector=alert.detector, series=alert.series_key,
+                    epoch=alert.epoch, magnitude=alert.magnitude,
+                )
+                row["trace"] = ctx.to_dict()
+            self.bus.publish(ALERTS_TOPIC, row)
         self.alerts.extend(fresh)
         return fresh
 

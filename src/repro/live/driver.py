@@ -22,6 +22,7 @@ from repro.live.detectors import DetectorBank
 from repro.live.forensics import ForensicTrigger, TriggerPolicy
 from repro.live.standing import EpochShardPool, StandingQuery, StandingQueryManager
 from repro.live.telemetry import BGPFeed, TracerouteFeed
+from repro.obs import METRICS_TOPIC
 from repro.serve.broker import QueryBroker, ServeConfig
 from repro.serve.cache import cache_file_path
 from repro.synth.scenarios import cable_cut_event
@@ -58,6 +59,10 @@ class LiveConfig:
     max_epoch_shards: int = 8
     #: Close the loop: alerts spawn forensic queries (see forensics.py).
     forensics: bool = False
+    #: Trace the replay (epoch ticks, alerts, cases, every served job) when
+    #: the driver builds its own broker; a passed-in broker keeps whatever
+    #: tracer it was constructed with.
+    tracing: bool = False
     result_timeout_s: float | None = 120.0
 
     def __post_init__(self) -> None:
@@ -85,6 +90,8 @@ class LiveReport:
     #: trigger plane's economics (empty when forensics is disabled).
     forensic_cases: list[dict] = field(default_factory=list)
     forensic_stats: dict = field(default_factory=dict)
+    #: Final snapshot of the broker's unified metrics registry.
+    metrics: dict = field(default_factory=dict)
     cache_file: str | None = None
     epoch_log: list[dict] = field(default_factory=list)
 
@@ -133,6 +140,7 @@ class LiveReport:
             "routing_stats": self.routing_stats,
             "forensic_cases": self.forensic_cases,
             "forensic_stats": self.forensic_stats,
+            "metrics": self.metrics,
             "cache_file": self.cache_file,
             "epoch_log": self.epoch_log,
         }
@@ -210,7 +218,6 @@ def run_live_replay(
         else default_cable_cut_timeline(world, cut_epoch=default_cut_epoch(cfg.epochs))
     )
     clock = SimulationClock(epoch_seconds=cfg.epoch_seconds, pace_s=cfg.pace_s)
-    timeline = WorldTimeline(world, events, clock=clock)
 
     owns_broker = broker is None
     if broker is None:
@@ -220,20 +227,25 @@ def run_live_replay(
             config=ServeConfig(workers=cfg.workers, backend=cfg.backend,
                                affinity=cfg.affinity,
                                dispatch_batch=cfg.dispatch_batch,
-                               cache_enabled=cfg.cache_enabled),
+                               cache_enabled=cfg.cache_enabled,
+                               tracing=cfg.tracing),
         ).start()
+    # The broker's tracer and registry are THE obs plane for the replay:
+    # epoch ticks, bus accounting, alert spans and forensic cases all land
+    # where the served jobs' spans already live.
+    timeline = WorldTimeline(world, events, clock=clock, tracer=broker.tracer)
     cache_file = None
     if cfg.cache_dir and broker.cache is not None:
         cache_file = cache_file_path(cfg.cache_dir)
         if os.path.exists(cache_file):
             broker.cache.load(cache_file)
 
-    bus = EventBus()
+    bus = EventBus(metrics=broker.metrics)
     traceroute_feed = TracerouteFeed(
         world, bus, pair_count=cfg.pair_count, samples_per_pair=cfg.samples_per_pair
     )
     bgp_feed = BGPFeed(world, bus)
-    bank = DetectorBank(bus)
+    bank = DetectorBank(bus, tracer=broker.tracer, metrics=broker.metrics)
     # One shard pool shared by every plane that materializes evolved worlds,
     # so standing queries and triggered forensics reuse each other's shards
     # and their combined population stays LRU-bounded.
@@ -272,6 +284,12 @@ def run_live_replay(
                 trigger.collect(timeout=cfg.result_timeout_s)
             computed = manager.collect(timeout=cfg.result_timeout_s)
             standing_results.extend(r.to_dict() for r in served + computed)
+            # Periodic snapshot on the metrics topic: any subscriber (a
+            # dashboard, a test) sees the registry's view of this epoch.
+            bus.publish(METRICS_TOPIC, {
+                "epoch": state.index,
+                "metrics": broker.metrics.snapshot(),
+            })
             epoch_log.append({
                 "epoch": state.index,
                 "fingerprint": state.fingerprint,
@@ -300,6 +318,7 @@ def run_live_replay(
                 [c.to_dict() for c in trigger.cases] if trigger else []
             ),
             forensic_stats=trigger.stats() if trigger else {},
+            metrics=broker.metrics.snapshot(),
             cache_file=cache_file,
             epoch_log=epoch_log,
         )

@@ -39,6 +39,7 @@ from repro.live.bus import EventBus, Subscription
 from repro.live.clock import EpochState, WorldTimeline, compose_fingerprint
 from repro.live.standing import EpochShardPool
 from repro.live.telemetry import ALERTS_TOPIC
+from repro.obs import MetricsRegistry, TraceContext, resolve_tracer
 from repro.serve.broker import DEFAULT_WORLD_KEY, JobState, QueryBroker
 from repro.synth.geography import COUNTRIES
 
@@ -243,7 +244,12 @@ class ForensicCase:
     alert_latency_epochs: int = 0
     #: Wall-clock seconds from the alert arriving to the verdict landing.
     verdict_latency_s: float | None = None
+    #: Trace id of the case's span tree ("" when tracing was off).  When the
+    #: triggering alert carried a context this is the *alert's* trace id —
+    #: the case span nests under it, so one trace covers alert → verdict.
+    trace_id: str = ""
     opened_at: float = field(default=0.0, repr=False)
+    span: object = field(default=None, repr=False, compare=False)
 
     def to_dict(self) -> dict:
         return {
@@ -273,6 +279,7 @@ class ForensicCase:
                 round(self.verdict_latency_s, 6)
                 if self.verdict_latency_s is not None else None
             ),
+            "trace_id": self.trace_id,
         }
 
 
@@ -298,9 +305,20 @@ class ForensicTrigger:
         base_world_key: str = DEFAULT_WORLD_KEY,
         queue_maxlen: int = 1024,
         clock=time.perf_counter,
+        tracer=None,
+        metrics: MetricsRegistry | None = None,
     ):
         self.bus = bus
         self.broker = broker
+        # Default to the broker's obs plane so case spans, job spans and
+        # forensic counters land in one tracer/registry without extra wiring.
+        self.tracer = resolve_tracer(
+            tracer if tracer is not None else getattr(broker, "tracer", None)
+        )
+        self._metrics = (
+            metrics if metrics is not None
+            else getattr(broker, "metrics", None)
+        )
         # Explicit None check: an empty pool is falsy (it has __len__).
         self.pool = pool if pool is not None else EpochShardPool(broker)
         self.policy = policy or TriggerPolicy()
@@ -428,6 +446,10 @@ class ForensicTrigger:
     def _open_case(self, alert: dict, episode: _Episode) -> ForensicCase:
         episode.cased = True
         self._case_counter += 1
+        alert_ctx = (
+            TraceContext.from_dict(alert["trace"])
+            if isinstance(alert.get("trace"), dict) else None
+        )
         case = ForensicCase(
             case_id=f"case-{self._case_counter:03d}",
             alert_kind=alert["kind"],
@@ -444,6 +466,16 @@ class ForensicTrigger:
             alert_latency_epochs=alert["epoch"] - episode.epoch,
             opened_at=self._clock(),
         )
+        if self.tracer.enabled:
+            # Parent under the triggering alert's span when it carried one
+            # (one trace then spans alert → case → verdict queries); a bare
+            # alert dict starts a fresh case trace.
+            case.span = self.tracer.start_span(
+                "forensic.case", parent=alert_ctx, cat="forensic",
+                case_id=case.case_id, alert_kind=case.alert_kind,
+                series=case.series_key, episode_epoch=case.episode_epoch,
+            )
+            case.trace_id = case.span.context.trace_id
         self._counts["cases_opened"] += 1
         self.cases.append(case)
         if not self._start_attempt(case):
@@ -501,7 +533,8 @@ class ForensicTrigger:
                 self.base_world_key, case.fingerprint, case.expected_cables
             )
             case.ticket = self.broker.submit(
-                case.query, priority=self.policy.priority, world_key=case.world_key
+                case.query, priority=self.policy.priority,
+                world_key=case.world_key, trace_parent=case.span,
             )
             self.pool.pin(case.world_key)
             self._counts["queries_submitted"] += 1
@@ -560,17 +593,33 @@ class ForensicTrigger:
             self._counts["cases_from_cache"] += 1
         if case.state != "done":
             case.verdict = "failed"
-            return
-        identified = final.get("identified_cable_id") if isinstance(final, dict) else None
-        case.identified_cable = identified
-        if not case.expected_cables:
-            case.verdict = "unscored"
-        elif identified is None:
-            case.verdict = "undetermined"
-        elif identified in case.expected_cables:
-            case.verdict = "confirmed"
         else:
-            case.verdict = "mismatch"
+            identified = (
+                final.get("identified_cable_id") if isinstance(final, dict)
+                else None
+            )
+            case.identified_cable = identified
+            if not case.expected_cables:
+                case.verdict = "unscored"
+            elif identified is None:
+                case.verdict = "undetermined"
+            elif identified in case.expected_cables:
+                case.verdict = "confirmed"
+            else:
+                case.verdict = "mismatch"
+        if case.span is not None:
+            case.span.annotate(
+                verdict=case.verdict,
+                identified_cable=case.identified_cable,
+                queries_run=case.queries_run,
+                from_cache=case.from_cache,
+            ).end()
+        if self._metrics is not None:
+            self._metrics.counter(
+                "forensic_cases_total", {"verdict": case.verdict}).inc()
+            self._metrics.histogram(
+                "forensic_verdict_latency_seconds"
+            ).observe(case.verdict_latency_s)
 
     # -- introspection -------------------------------------------------------
 

@@ -23,6 +23,7 @@ from statistics import median
 from repro.bgp.collector import BGPCollectorSim, CollectorConfig, shared_collector
 from repro.live.bus import EventBus
 from repro.live.clock import EpochState
+from repro.obs import METRICS_TOPIC  # noqa: F401 - topic namespace lives here too
 from repro.traceroute.api import probe_pairs
 from repro.traceroute.rtt import PathResolver
 from repro.synth.world import SyntheticWorld

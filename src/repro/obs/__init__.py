@@ -1,0 +1,55 @@
+"""ArachNet Obs: unified tracing + metrics over both planes, stdlib-only.
+
+One query's 2.6 seconds are spread across a broker thread (queue wait), a
+claimer thread (dispatch), a worker *process* (pipeline stages) and — in
+live mode — the detector and forensic planes that asked for it.  This
+package is the single place all of that lands:
+
+* :mod:`repro.obs.trace` — ``TraceContext`` ids created at
+  ``QueryBroker.submit`` ride the job across threads and the process
+  boundary; every layer contributes spans, and a :class:`TraceSink`
+  exports the reassembled trace as Chrome trace-event JSON that Perfetto
+  loads directly.  The :data:`NULL_TRACER` fast path makes the whole
+  plane a few attribute checks when tracing is off.
+* :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of counters,
+  gauges and log-bucketed histograms absorbing the scattered stats dicts
+  (scheduler depth, affinity routing, shm transport, cache economics,
+  bus drops, forensic latency) behind one Prometheus-text dump.
+
+The package imports nothing from the rest of the repository, so every
+layer — ``core``, ``serve``, ``live`` — can depend on it without cycles.
+"""
+
+from repro.obs.metrics import (
+    METRICS_TOPIC,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.trace import (
+    NULL_SPAN,
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    TraceContext,
+    Tracer,
+    TraceSink,
+    resolve_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "METRICS_TOPIC",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "TraceContext",
+    "TraceSink",
+    "Tracer",
+    "resolve_tracer",
+]

@@ -58,6 +58,7 @@ from multiprocessing import connection
 from repro.core.artifacts import PipelineResult
 from repro.core.pipeline import ArachNet
 from repro.core.registry import default_registry
+from repro.obs import NULL_TRACER, MetricsRegistry, Tracer
 from repro.serve import transport
 from repro.serve.cache import ArtifactCache
 from repro.serve.scheduler import WorldShard
@@ -120,6 +121,10 @@ class JobPayload:
     #: processes key their system cache without re-pickling it per job.
     llm_key: str = ""
     cache_entries: int = 0  # 0 disables the process-local artifact cache
+    #: Dispatch-span :class:`~repro.obs.TraceContext` when the broker is
+    #: tracing, ``None`` otherwise.  Deliberately outside ``_system_key``:
+    #: trace identity must never fragment the worker's system cache.
+    trace: object | None = None
 
 
 # -- worker-process side ------------------------------------------------------
@@ -175,12 +180,44 @@ def _worker_system(payload: JobPayload) -> ArachNet:
     return system
 
 
-def _process_execute(payload: JobPayload) -> tuple[PipelineResult, dict]:
-    """Runs in the worker process: answer the query, report cache economics."""
+#: This process's (tracer, metrics) pair, keyed by pid so a forked child
+#: never keeps recording into instruments it inherited from its parent.
+_WORKER_OBS: dict[int, tuple] = {}
+
+
+def _worker_obs() -> tuple:
+    pid = os.getpid()
+    obs = _WORKER_OBS.get(pid)
+    if obs is None:
+        _WORKER_OBS.clear()
+        obs = (Tracer(label=f"worker-{pid}"), MetricsRegistry())
+        _WORKER_OBS[pid] = obs
+    return obs
+
+
+def _process_execute(payload: JobPayload,
+                     worker_index: int = 0) -> tuple[PipelineResult, dict]:
+    """Runs in the worker process: answer the query, report cache economics.
+
+    With a trace context on the payload the whole run is wrapped in a
+    ``worker.execute`` span parented under the broker's dispatch span, and
+    the reply meta additionally carries this process's drained span records
+    and metric deltas — observability rides the reply pipes, no extra IPC.
+    """
     system = _worker_system(payload)
-    result = system.answer(payload.query, params=payload.params)
+    if payload.trace is not None:
+        tracer, registry = _worker_obs()
+        registry.counter("worker_jobs_total", {"slot": str(worker_index)}).inc()
+        with tracer.span("worker.execute", parent=payload.trace, cat="worker",
+                         slot=worker_index) as span:
+            result = system.answer(payload.query, params=payload.params,
+                                   tracer=tracer, trace_parent=span)
+        extra = {"spans": tracer.drain(), "metrics": registry.drain_deltas()}
+    else:
+        result = system.answer(payload.query, params=payload.params)
+        extra = {}
     cache_stats = system.cache.stats() if system.cache is not None else None
-    return result, {"pid": os.getpid(), "cache": cache_stats}
+    return result, {"pid": os.getpid(), "cache": cache_stats, **extra}
 
 
 def _apply_fault(fault, index: int) -> None:
@@ -215,7 +252,8 @@ def _decode_exception(message: tuple) -> Exception:
 
 
 def _run_one(index, templates, row, shm_min_bytes) -> tuple:
-    job_id, shard_key, query, params = row
+    job_id, shard_key, query, params = row[:4]
+    trace = row[4] if len(row) > 4 else None
     try:
         if params:
             params = dict(params)
@@ -227,8 +265,9 @@ def _run_one(index, templates, row, shm_min_bytes) -> tuple:
                 f"worker slot {index} never received a payload template for "
                 f"shard {shard_key!r}"
             )
-        payload = dataclasses.replace(template, query=query, params=params)
-        result, meta = _process_execute(payload)
+        payload = dataclasses.replace(template, query=query, params=params,
+                                      trace=trace)
+        result, meta = _process_execute(payload, worker_index=index)
         return (job_id, True, transport.encode(result, shm_min_bytes), meta)
     except Exception as exc:  # shipped back and re-raised broker-side
         return (job_id, False, _encode_exception(exc), None)
@@ -300,6 +339,10 @@ class ExecutionBackend:
     #: Backends that overlap many jobs per claiming thread opt into the
     #: broker's batched claim path (``run_many`` with several items).
     supports_batch = False
+    #: The broker rebinds these to its own tracer/registry at construction;
+    #: the class defaults keep a standalone backend fully functional.
+    tracer = NULL_TRACER
+    metrics: MetricsRegistry | None = None
 
     def start(self) -> "ExecutionBackend":
         return self
@@ -320,20 +363,25 @@ class ExecutionBackend:
         params: dict | None,
         observer=None,
         excluded_workers: tuple[int, ...] = (),
+        trace=None,
     ) -> PipelineResult:
         raise NotImplementedError
 
     def run_many(
         self, items: list[tuple], excluded_workers: tuple[int, ...] = ()
     ) -> list:
-        """Run ``(shard, query, params, observer)`` items; one outcome per
-        item, a :class:`PipelineResult` or the exception it raised."""
+        """Run ``(shard, query, params, observer[, trace])`` items; one
+        outcome per item, a :class:`PipelineResult` or the exception it
+        raised.  The optional fifth element is the dispatch-span
+        :class:`~repro.obs.TraceContext` to parent execution spans under."""
         outcomes = []
-        for shard, query, params, observer in items:
+        for item in items:
+            shard, query, params, observer = item[:4]
+            trace = item[4] if len(item) > 4 else None
             try:
                 outcomes.append(
                     self.run(shard, query, params, observer=observer,
-                             excluded_workers=excluded_workers)
+                             excluded_workers=excluded_workers, trace=trace)
                 )
             except Exception as exc:
                 outcomes.append(exc)
@@ -355,8 +403,10 @@ class ThreadPoolBackend(ExecutionBackend):
         params: dict | None,
         observer=None,
         excluded_workers: tuple[int, ...] = (),
+        trace=None,
     ) -> PipelineResult:
-        return shard.system.answer(query, params=params, observer=observer)
+        return shard.system.answer(query, params=params, observer=observer,
+                                   tracer=self.tracer, trace_parent=trace)
 
 
 class _WorkerSlot:
@@ -380,7 +430,7 @@ class _WorkerSlot:
         self.reply_r = None
         self.reply_w = None
         self.templates_sent: set[str] = set()
-        self.pending: deque = deque()  # (job_id, shard_key, query, params)
+        self.pending: deque = deque()  # (job_id, shard_key, query, params, trace)
         self.inflight: set[int] = set()
 
     def depth(self) -> int:
@@ -651,7 +701,7 @@ class ProcessPoolBackend(ExecutionBackend):
         return slot
 
     def _dispatch(self, shard: WorldShard, query: str, params: dict | None,
-                  excluded: tuple[int, ...] = ()) -> Future:
+                  excluded: tuple[int, ...] = (), trace=None) -> Future:
         if not self._started or self._stopped:
             raise BackendError("process backend is not started")
         if shard.key not in self._templates:
@@ -665,7 +715,7 @@ class ProcessPoolBackend(ExecutionBackend):
             slot = self._choose_slot(key, shard.key, excluded)
             job_id = next(self._job_ids)
             self._futures[job_id] = future
-            slot.pending.append((job_id, shard.key, query, params))
+            slot.pending.append((job_id, shard.key, query, params, trace))
             self._counts["dispatched"] += 1
             self._work.notify_all()
         return future
@@ -677,8 +727,10 @@ class ProcessPoolBackend(ExecutionBackend):
         params: dict | None,
         observer=None,
         excluded_workers: tuple[int, ...] = (),
+        trace=None,
     ) -> PipelineResult:
-        result = self._dispatch(shard, query, params, excluded_workers).result()
+        result = self._dispatch(shard, query, params, excluded_workers,
+                                trace=trace).result()
         self._replay(result, observer)
         return result
 
@@ -689,11 +741,13 @@ class ProcessPoolBackend(ExecutionBackend):
         claiming thread keeps every worker process busy, and same-slot
         items coalesce into single queue messages."""
         futures = [
-            self._dispatch(shard, query, params, excluded_workers)
-            for shard, query, params, _ in items
+            self._dispatch(item[0], item[1], item[2], excluded_workers,
+                           trace=(item[4] if len(item) > 4 else None))
+            for item in items
         ]
         outcomes = []
-        for future, (_, _, _, observer) in zip(futures, items):
+        for future, item in zip(futures, items):
+            observer = item[3]
             try:
                 result = future.result()
                 self._replay(result, observer)
@@ -840,6 +894,15 @@ class ProcessPoolBackend(ExecutionBackend):
         _, index, rows = message  # ("done", slot index, result rows)
         slot = self._slots[index]
         for job_id, ok, blob, meta in rows:
+            if meta is not None:
+                # Absorb worker-side observability before the future resolves,
+                # so a caller that wakes on the result already sees its spans.
+                spans = meta.get("spans")
+                if spans:
+                    self.tracer.ingest(spans)
+                deltas = meta.get("metrics")
+                if deltas and self.metrics is not None:
+                    self.metrics.absorb(deltas)
             with self._lock:
                 slot.inflight.discard(job_id)
                 future = self._futures.pop(job_id, None)

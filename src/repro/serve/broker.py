@@ -17,6 +17,7 @@ from typing import Callable
 
 from repro.core.artifacts import PipelineResult
 from repro.core.registry import Registry
+from repro.obs import MetricsRegistry, Tracer, resolve_tracer
 from repro.serve.backends import WorkerCrashed, build_backend
 from repro.serve.cache import ArtifactCache
 from repro.serve.provenance import ProvenanceLedger
@@ -71,6 +72,10 @@ class ServeConfig:
     #: it must be picklable (e.g. ``functools.partial`` over a module-level
     #: class), since worker processes build their own instance.
     llm_factory: Callable[[], object] | None = None
+    #: Record spans for every job (submit → queue wait → dispatch → worker
+    #: stages).  Off by default: the disabled path is a shared
+    #: :class:`~repro.obs.NullTracer` and costs nothing measurable.
+    tracing: bool = False
 
 
 @dataclass
@@ -86,6 +91,11 @@ class Job:
     result: PipelineResult | None = None
     error: str = ""
     done: threading.Event = field(default_factory=threading.Event, repr=False)
+    trace_id: str = ""
+    #: The job's root span and its queue-wait child, open from submit until
+    #: settle.  ``None`` whenever tracing is off.
+    root_span: object = field(default=None, repr=False, compare=False)
+    queue_span: object = field(default=None, repr=False, compare=False)
 
     def to_dict(self) -> dict:
         return {
@@ -95,6 +105,7 @@ class Job:
             "world_key": self.world_key,
             "state": self.state.value,
             "error": self.error,
+            "trace_id": self.trace_id,
         }
 
 
@@ -118,8 +129,17 @@ class QueryBroker:
         registry: Registry | None = None,
         incidents: list | None = None,
         config: ServeConfig | None = None,
+        tracer=None,
+        metrics: MetricsRegistry | None = None,
     ):
         self.config = config or ServeConfig()
+        if tracer is not None:
+            self.tracer = tracer
+        elif self.config.tracing:
+            self.tracer = Tracer(label="broker")
+        else:
+            self.tracer = resolve_tracer(None)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.cache = (
             ArtifactCache(max_entries=self.config.max_cache_entries)
             if self.config.cache_enabled
@@ -138,11 +158,16 @@ class QueryBroker:
             dispatch_batch=self.config.dispatch_batch,
             shm_min_bytes=self.config.shm_min_bytes,
         )
-        self._scheduler = PriorityScheduler()
+        # The backend contributes to the same obs plane: it ingests
+        # worker-side spans/metric deltas as replies arrive.
+        self.backend.tracer = self.tracer
+        self.backend.metrics = self.metrics
+        self._scheduler = PriorityScheduler(metrics=self.metrics)
         self._pool = WorkerPool(
             self._scheduler,
             self._run_job,
             num_workers=self.config.workers,
+            metrics=self.metrics,
             batch_handler=self._run_jobs,
             # Batched claiming only pays when the backend overlaps the batch
             # across its own workers; a thread claimer runs jobs serially.
@@ -158,6 +183,7 @@ class QueryBroker:
         self._finished_total = {"done": 0, "failed": 0, "cancelled": 0}
         self._submitted_by_priority: dict[int, int] = {}
         self._default_registry = registry
+        self.metrics.register_collector(self._refresh_gauges)
         if world is not None:
             self.add_world(DEFAULT_WORLD_KEY, world, incidents=incidents,
                            registry=registry)
@@ -272,8 +298,14 @@ class QueryBroker:
         params: dict | None = None,
         priority: int = 0,
         world_key: str = DEFAULT_WORLD_KEY,
+        trace_parent=None,
     ) -> str:
-        """Queue one query; returns its ticket immediately."""
+        """Queue one query; returns its ticket immediately.
+
+        ``trace_parent`` (a span or :class:`~repro.obs.TraceContext`) links
+        the job's trace under an existing one — forensic cases use it to
+        join their verdict queries to the alert that triggered them.
+        """
         if not query or not query.strip():
             raise BrokerError("query must be non-empty")
         if self._scheduler.closed:
@@ -288,7 +320,20 @@ class QueryBroker:
             self._submitted_by_priority[priority] = (
                 self._submitted_by_priority.get(priority, 0) + 1
             )
-        self.ledger.open(ticket, query, world_key)
+        if self.tracer.enabled:
+            # The job's whole life is one trace: a root span open until
+            # settle, with queue wait as its first child.  Both spans close
+            # defensively from every settle path (Span.end is idempotent).
+            job.root_span = self.tracer.start_span(
+                "job", parent=trace_parent, cat="serve", ticket=ticket,
+                world_key=world_key, priority=priority,
+            )
+            job.queue_span = self.tracer.start_span(
+                "queue.wait", parent=job.root_span, cat="serve",
+            )
+            job.trace_id = job.root_span.context.trace_id
+        self.metrics.counter("broker_jobs_submitted_total").inc()
+        self.ledger.open(ticket, query, world_key, trace_id=job.trace_id)
         try:
             self._scheduler.push(job, priority=priority, shard=world_key)
         except SchedulerClosed:
@@ -297,6 +342,7 @@ class QueryBroker:
             with self._lock:
                 self._jobs.pop(ticket, None)
             self.ledger.remove(ticket)
+            self._close_spans(job, "rejected")
             raise BrokerError("broker is shut down; no new submissions") from None
         return ticket
 
@@ -317,6 +363,7 @@ class QueryBroker:
             job.error = "cancelled before execution"
             self._finished_total["cancelled"] += 1
         self.ledger.mark_finished(ticket, "cancelled", job.error)
+        self._close_spans(job, "cancelled")
         job.done.set()
         self._prune_finished()
         return True
@@ -351,6 +398,32 @@ class QueryBroker:
 
     # -- introspection -----------------------------------------------------
 
+    def _refresh_gauges(self, metrics: MetricsRegistry) -> None:
+        """Scrape-time collector: project the hot paths' existing stats dicts
+        into registry gauges, so queue depth, affinity economics, transport
+        volume and cache hit rates all answer from one place without the hot
+        paths paying for a second accounting system."""
+        backend = self.backend.stats()
+        affinity = backend.get("affinity") or {}
+        metrics.gauge("backend_affinity_hit_rate").set(
+            affinity.get("hit_rate", 0.0))
+        metrics.gauge("backend_affinity_hits").set(affinity.get("hits", 0))
+        metrics.gauge("backend_affinity_steals").set(affinity.get("steals", 0))
+        metrics.gauge("backend_respawns").set(affinity.get("respawns", 0))
+        dispatch = backend.get("dispatch") or {}
+        metrics.gauge("backend_shm_bytes").set(dispatch.get("shm_bytes", 0))
+        metrics.gauge("backend_shm_results").set(dispatch.get("shm_results", 0))
+        worker_cache = backend.get("cache") or {}
+        metrics.gauge("cache_hit_rate", {"scope": "workers"}).set(
+            worker_cache.get("hit_rate", 0.0) if worker_cache else 0.0)
+        if self.cache is not None:
+            cache = self.cache.stats()
+            metrics.gauge("cache_hit_rate", {"scope": "broker"}).set(
+                cache["hit_rate"])
+            metrics.gauge("cache_entries", {"scope": "broker"}).set(
+                cache["entries"])
+        metrics.gauge("broker_active_jobs").set(self._pool.active_jobs)
+
     def stats(self) -> dict:
         with self._lock:
             states: dict[str, int] = {}
@@ -372,6 +445,10 @@ class QueryBroker:
             "backend": self.backend.stats(),
             "cache": self.cache.stats() if self.cache else None,
             "worlds": self.world_keys(),
+            "obs": {
+                "tracer": self.tracer.stats(),
+                "metrics": self.metrics.stats(),
+            },
         }
 
     # -- the worker-side job runner ---------------------------------------
@@ -390,22 +467,33 @@ class QueryBroker:
         """
         claimed: list[Job] = []
         items = []
+        dspans = []
         for job in jobs:
             with self._lock:
                 if job.state is not JobState.QUEUED:
                     continue  # cancelled while queued; the canceller settled it
                 job.state = JobState.RUNNING
+            if job.queue_span is not None:
+                job.queue_span.end()
+            dspan = self.tracer.start_span(
+                "dispatch", parent=job.root_span, cat="serve",
+                backend=self.backend.name, worker=worker_name,
+            ) if self.tracer.enabled else None
             try:
                 provenance = self.ledger.get(job.ticket)
                 self.ledger.mark_started(job.ticket, worker_name)
                 items.append((self.shard(job.world_key), job.query, job.params,
-                              provenance.observer()))
+                              provenance.observer(),
+                              dspan.context if dspan is not None else None))
             except Exception as exc:
                 # E.g. the world was removed after submit validated it; the
                 # job must still settle or waiters hang and the claimer dies.
+                if dspan is not None:
+                    dspan.annotate(error=str(exc)).end()
                 self._settle(job, exc)
                 continue
             claimed.append(job)
+            dspans.append(dspan)
         if not claimed:
             return
         outcomes = self.backend.run_many(items)
@@ -417,12 +505,16 @@ class QueryBroker:
             excluded = tuple({outcomes[i].worker_index for i in crashed})
             for index in crashed:
                 self.ledger.mark_retried(claimed[index].ticket)
+                if dspans[index] is not None:
+                    dspans[index].annotate(retried=True)
             retried = self.backend.run_many(
                 [items[i] for i in crashed], excluded_workers=excluded
             )
             for index, outcome in zip(crashed, retried):
                 outcomes[index] = outcome
-        for job, outcome in zip(claimed, outcomes):
+        for job, outcome, dspan in zip(claimed, outcomes, dspans):
+            if dspan is not None:
+                dspan.end()
             self._settle(job, outcome)
 
     def _settle(self, job: Job, outcome) -> None:
@@ -443,8 +535,17 @@ class QueryBroker:
         with self._lock:
             key = "done" if job.state is JobState.DONE else "failed"
             self._finished_total[key] += 1
+        self.metrics.counter("broker_jobs_finished_total", {"state": key}).inc()
+        self._close_spans(job, job.state.value)
         job.done.set()
         self._prune_finished()
+
+    def _close_spans(self, job: Job, state: str) -> None:
+        """Close a job's root/queue spans from any settle path; idempotent."""
+        if job.queue_span is not None:
+            job.queue_span.end()
+        if job.root_span is not None:
+            job.root_span.annotate(state=state).end()
 
     def _prune_finished(self) -> None:
         """Drop the oldest finished jobs beyond the retention bound.

@@ -62,6 +62,9 @@ class JobProvenance:
     error: str = ""
     #: Times the job was resubmitted after its worker process died.
     retries: int = 0
+    #: Trace id of the job's span tree when the broker traced it ("" when
+    #: tracing was off) — joins this ledger row to its trace export.
+    trace_id: str = ""
     stages: list[StageRecord] = field(default_factory=list)
 
     @property
@@ -99,6 +102,7 @@ class JobProvenance:
             "status": self.status,
             "error": self.error,
             "retries": self.retries,
+            "trace_id": self.trace_id,
             "queue_delay_s": self.queue_delay_s,
             "run_duration_s": self.run_duration_s,
             "stages": [s.to_dict() for s in self.stages],
@@ -116,10 +120,11 @@ class ProvenanceLedger:
     def now(self) -> float:
         return self._clock()
 
-    def open(self, job_id: str, query: str, world_key: str = "default") -> JobProvenance:
+    def open(self, job_id: str, query: str, world_key: str = "default",
+             trace_id: str = "") -> JobProvenance:
         entry = JobProvenance(
             job_id=job_id, query=query, world_key=world_key,
-            submitted_at=self.now(),
+            submitted_at=self.now(), trace_id=trace_id,
         )
         with self._lock:
             self._entries[job_id] = entry

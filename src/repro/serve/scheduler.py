@@ -17,11 +17,13 @@ from __future__ import annotations
 import heapq
 import itertools
 import threading
+import time
 from dataclasses import dataclass
 from typing import Any
 
 from repro.core.pipeline import ArachNet
 from repro.core.registry import Registry, default_registry
+from repro.obs import MetricsRegistry
 from repro.synth.world import SyntheticWorld
 
 
@@ -73,8 +75,8 @@ class SchedulerClosed(RuntimeError):
 class PriorityScheduler:
     """Thread-safe priority queue with FIFO order inside each band."""
 
-    def __init__(self):
-        self._heap: list[tuple[int, int, str, Any]] = []
+    def __init__(self, metrics: MetricsRegistry | None = None):
+        self._heap: list[tuple[int, int, str, float, Any]] = []
         self._seq = itertools.count()
         self._cond = threading.Condition()
         self._closed = False
@@ -86,12 +88,24 @@ class PriorityScheduler:
         #: Pops that serviced a band while lower-priority work was queued —
         #: how often the priority path actually jumped a queue.
         self._preemptions = 0
+        self._metrics = metrics if metrics is not None else MetricsRegistry()
+        self._depth_gauge = self._metrics.gauge("scheduler_queue_depth")
+        self._pushed_counter = self._metrics.counter("scheduler_pushed_total")
+        # Per-band wait histograms are created lazily on first pop of a band.
+        self._wait_hist: dict[int, Any] = {}
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        return self._metrics
 
     def push(self, item: Any, priority: int = 0, shard: str = "default") -> None:
         with self._cond:
             if self._closed:
                 raise SchedulerClosed("scheduler is closed to new work")
-            heapq.heappush(self._heap, (-priority, next(self._seq), shard, item))
+            heapq.heappush(
+                self._heap,
+                (-priority, next(self._seq), shard, time.time(), item),
+            )
             self._pushed += 1
             self._per_shard[shard] = self._per_shard.get(shard, 0) + 1
             self._pushed_by_priority[priority] = (
@@ -100,9 +114,11 @@ class PriorityScheduler:
             self._queued_by_priority[priority] = (
                 self._queued_by_priority.get(priority, 0) + 1
             )
+            self._depth_gauge.set(len(self._heap))
             self._cond.notify()
+        self._pushed_counter.inc()
 
-    def _account_pop(self, neg_priority: int, shard: str) -> None:
+    def _account_pop(self, neg_priority: int, shard: str, enqueued: float) -> None:
         self._popped += 1
         self._per_shard[shard] -= 1
         priority = -neg_priority
@@ -110,6 +126,14 @@ class PriorityScheduler:
         if any(count and band < priority
                for band, count in self._queued_by_priority.items()):
             self._preemptions += 1
+        self._depth_gauge.set(len(self._heap))
+        hist = self._wait_hist.get(priority)
+        if hist is None:
+            hist = self._metrics.histogram(
+                "scheduler_queue_wait_seconds", {"band": str(priority)}
+            )
+            self._wait_hist[priority] = hist
+        hist.observe(max(0.0, time.time() - enqueued))
 
     def pop(self, timeout: float | None = None) -> Any | None:
         """Next job by priority then arrival; ``None`` on timeout or when the
@@ -120,8 +144,8 @@ class PriorityScheduler:
                     return None
                 if not self._cond.wait(timeout):
                     return None
-            neg_priority, _, shard, item = heapq.heappop(self._heap)
-            self._account_pop(neg_priority, shard)
+            neg_priority, _, shard, enqueued, item = heapq.heappop(self._heap)
+            self._account_pop(neg_priority, shard, enqueued)
             return item
 
     def pop_batch(self, limit: int) -> list[Any]:
@@ -134,8 +158,8 @@ class PriorityScheduler:
         items: list[Any] = []
         with self._cond:
             while self._heap and len(items) < limit:
-                neg_priority, _, shard, item = heapq.heappop(self._heap)
-                self._account_pop(neg_priority, shard)
+                neg_priority, _, shard, enqueued, item = heapq.heappop(self._heap)
+                self._account_pop(neg_priority, shard, enqueued)
                 items.append(item)
         return items
 

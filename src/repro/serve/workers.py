@@ -16,6 +16,7 @@ import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable
 
+from repro.obs import MetricsRegistry
 from repro.serve.scheduler import PriorityScheduler
 
 #: ``handler(item, worker_name)`` — must not raise; job-level errors are the
@@ -47,11 +48,15 @@ class WorkerPool:
         name: str = "arachnet-serve",
         batch_handler: BatchHandler | None = None,
         claim_batch: int = 1,
+        metrics: MetricsRegistry | None = None,
     ):
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
         if claim_batch < 1:
             raise ValueError("claim_batch must be >= 1")
+        metrics = metrics if metrics is not None else MetricsRegistry()
+        self._claimed_counter = metrics.counter("workerpool_claimed_total")
+        self._batch_counter = metrics.counter("workerpool_claim_batches_total")
         self._scheduler = scheduler
         self._handler = handler
         self._batch_handler = batch_handler
@@ -121,6 +126,8 @@ class WorkerPool:
             items = [item]
             if self._batch_handler is not None and self.claim_batch > 1:
                 items.extend(self._scheduler.pop_batch(self.claim_batch - 1))
+            self._claimed_counter.inc(len(items))
+            self._batch_counter.inc()
             with self._active_lock:
                 self._active += len(items)
             try:
