@@ -1,13 +1,18 @@
-"""O1 — Observability plane: tracing overhead and span completeness.
+"""O1 — Observability plane: full-observation overhead and span completeness.
 
 Two sections:
 
 1. **Overhead** — the same CPU-bound campaign (thread backend, cache off,
-   zero LLM latency) through a broker with tracing disabled (the
-   :data:`~repro.obs.NULL_TRACER` fast path) and with tracing enabled.
-   Repeats are interleaved and each configuration keeps its best run, so
-   machine drift hits both sides equally; enabling full tracing must cost
-   less than :data:`MAX_OVERHEAD_PCT` percent of throughput.
+   zero LLM latency) through a broker with observability disabled (the
+   :data:`~repro.obs.NULL_TRACER` fast path, no recorder, no SLO engine)
+   and fully observed: tracing on, the crash flight recorder teeing every
+   span into its ring, and an :class:`~repro.obs.SloEngine` evaluating
+   the default SLOs on a 50 ms ticker throughout the run.  Repeats are
+   interleaved and each configuration keeps its best run, so machine
+   drift hits both sides equally; the whole health plane must cost less
+   than :data:`MAX_OVERHEAD_PCT` percent of throughput.  (The JSON keys
+   keep their PR-6 names — ``traced_jobs_per_sec`` now means "fully
+   observed" — so archived baselines stay comparable.)
 2. **Completeness** — a traced campaign through the *process* backend:
    every job's trace must contain the full broker-to-worker span chain
    (``job``, ``queue.wait``, ``dispatch``, ``worker.execute``,
@@ -32,10 +37,12 @@ import argparse
 import json
 import os
 import sys
+import tempfile
+import threading
 
 from repro.serve import CampaignJob, JobState, QueryBroker, ServeConfig, run_campaign
 from repro.serve.campaign import CABLE_IMPACT_TEMPLATE, DISASTER_TEMPLATE
-from repro.obs import TraceSink
+from repro.obs import SloEngine, TraceSink
 from repro.synth.world import WorldConfig, build_world
 
 #: Acceptance thresholds this benchmark demonstrates.
@@ -71,35 +78,57 @@ def build_jobs(world, count: int) -> list[CampaignJob]:
     return jobs[:count]
 
 
-def run_campaign_once(world, jobs, workers: int, tracing: bool) -> float:
-    """One cold campaign on a fresh thread-backend broker; jobs/sec."""
+def run_campaign_once(world, jobs, workers: int, observed: bool) -> float:
+    """One cold campaign on a fresh thread-backend broker; jobs/sec.
+
+    ``observed`` turns on the whole health plane — tracing, the flight
+    recorder (fed by every span), and a background SLO ticker evaluating
+    the default objectives every 50 ms — the configuration the ≤5%
+    overhead gate is measured against.
+    """
     broker = QueryBroker(
         world,
         config=ServeConfig(workers=workers, backend="thread",
-                           cache_enabled=False, tracing=tracing),
+                           cache_enabled=False, tracing=observed,
+                           flight=observed,
+                           flight_dir=tempfile.gettempdir()),
     ).start()
+    stop = threading.Event()
+    ticker = None
+    if observed:
+        engine = SloEngine(broker.metrics, flight=broker.flight)
+
+        def tick() -> None:
+            while not stop.wait(0.05):
+                engine.evaluate()
+
+        ticker = threading.Thread(target=tick, daemon=True)
+        ticker.start()
     try:
         report = run_campaign(broker, jobs)
         assert report.failed == 0, (
-            f"tracing={tracing}: {report.failed} jobs failed"
+            f"observed={observed}: {report.failed} jobs failed"
         )
         return report.jobs_per_sec
     finally:
+        stop.set()
+        if ticker is not None:
+            ticker.join()
         broker.shutdown()
 
 
 def measure_overhead(world, jobs, workers: int, repeats: int) -> dict:
-    """Interleaved best-of-``repeats`` null vs traced throughput."""
+    """Interleaved best-of-``repeats`` null vs fully-observed throughput."""
     null_best = traced_best = 0.0
     for i in range(repeats):
-        null_jps = run_campaign_once(world, jobs, workers, tracing=False)
-        traced_jps = run_campaign_once(world, jobs, workers, tracing=True)
+        null_jps = run_campaign_once(world, jobs, workers, observed=False)
+        traced_jps = run_campaign_once(world, jobs, workers, observed=True)
         null_best = max(null_best, null_jps)
         traced_best = max(traced_best, traced_jps)
         print(f"  repeat {i + 1}/{repeats}: null {null_jps:6.1f} jobs/s  "
-              f"traced {traced_jps:6.1f} jobs/s")
+              f"observed {traced_jps:6.1f} jobs/s")
     overhead_pct = max(0.0, (null_best - traced_best) / null_best * 100.0)
-    print(f"  best-of-{repeats}: null {null_best:.1f} vs traced "
+    print(f"  best-of-{repeats}: null {null_best:.1f} vs observed "
           f"{traced_best:.1f} jobs/s -> {overhead_pct:.1f}% overhead")
     return {
         "null_jobs_per_sec": round(null_best, 2),
@@ -199,7 +228,8 @@ def main(argv: list[str] | None = None) -> int:
 
     world = build_world(WorldConfig(seed=7))
 
-    print(f"\n=== tracing overhead — {args.jobs} CPU-bound jobs, "
+    print(f"\n=== full-observation overhead (tracing + SLO engine + flight "
+          f"recorder) — {args.jobs} CPU-bound jobs, "
           f"{args.workers} thread workers, best of {args.repeats} ===")
     overhead = measure_overhead(
         world, build_jobs(world, args.jobs), args.workers, args.repeats

@@ -29,6 +29,11 @@ import subprocess
 import sys
 import time
 
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    resource = None
+
 import bench_forensic_loop
 import bench_incremental_routing
 import bench_obs
@@ -60,7 +65,20 @@ def _git_sha() -> str:
         return "unknown"
 
 
-def _stamp_meta(path: str, wall_s: float, sha: str) -> None:
+def _peak_rss_kb() -> int | None:
+    """High-water RSS in KiB across this process and its reaped children
+    (worker pools fork, so children often dominate).  ``ru_maxrss`` is a
+    running maximum — a benchmark's stamp is the peak *as of* its
+    completion, not an isolated per-benchmark figure."""
+    if resource is None:
+        return None
+    self_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    children_kb = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+    return max(self_kb, children_kb)
+
+
+def _stamp_meta(path: str, wall_s: float, sha: str,
+                peak_rss_kb: int | None = None) -> None:
     """Inject run metadata into an emitted BENCH_*.json (in place)."""
     with open(path, encoding="utf-8") as handle:
         payload = json.load(handle)
@@ -69,6 +87,7 @@ def _stamp_meta(path: str, wall_s: float, sha: str) -> None:
         "cpu_count": os.cpu_count(),
         "python": platform.python_version(),
         "bench_wall_s": round(wall_s, 2),
+        "peak_rss_kb": peak_rss_kb,
     }
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=1)
@@ -102,14 +121,17 @@ def main(argv: list[str] | None = None) -> int:
     ]
     sha = _git_sha()
     wall: dict[str, float] = {}
+    rss: dict[str, int | None] = {}
     for name, module, bench_argv, out in benches:
         started = time.perf_counter()
         module.main(bench_argv)
         wall[name] = time.perf_counter() - started
-        _stamp_meta(out, wall[name], sha)
-    print("\n=== wall time per benchmark ===")
+        rss[name] = _peak_rss_kb()
+        _stamp_meta(out, wall[name], sha, peak_rss_kb=rss[name])
+    print("\n=== wall time / peak RSS per benchmark ===")
     for name in wall:
-        print(f"  {name:<10s} {wall[name]:7.1f}s")
+        rss_mb = f"{rss[name] / 1024:7.0f} MiB" if rss[name] else "    n/a"
+        print(f"  {name:<10s} {wall[name]:7.1f}s {rss_mb}")
 
     with open(SERVE_OUT, encoding="utf-8") as handle:
         serve = json.load(handle)

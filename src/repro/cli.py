@@ -116,6 +116,20 @@ def build_parser() -> argparse.ArgumentParser:
                           "(queue depth, affinity/cache hit rates, bus "
                           "drops, ...) in Prometheus text format to PATH "
                           "('-' or no value = stdout)")
+    obs.add_argument("--obs-port", type=int, metavar="PORT",
+                     help="serve live introspection on 127.0.0.1:PORT while "
+                          "the run is in flight: /metrics (Prometheus), "
+                          "/healthz (SLO verdict, non-200 on breach), "
+                          "/debug/flight (postmortem dump), /debug/broker "
+                          "(scheduler/affinity stats); 0 picks a free port. "
+                          "Also arms the SLO engine and flight recorder")
+    obs.add_argument("--slo-config", metavar="PATH",
+                     help="JSON file of SLO specs replacing the built-in "
+                          "defaults (see README 'Health & postmortems')")
+    obs.add_argument("--flight-dir", metavar="DIR",
+                     help="run the crash flight recorder and write its "
+                          "postmortem dumps into DIR (default: next to the "
+                          "artifact cache, or the current directory)")
     return parser
 
 
@@ -126,7 +140,9 @@ def _serve_config(args) -> "ServeConfig":
                        cache_enabled=not args.no_cache,
                        affinity=not args.no_affinity,
                        dispatch_batch=args.dispatch_batch,
-                       tracing=bool(args.trace_out))
+                       tracing=bool(args.trace_out),
+                       flight=bool(args.flight_dir) or args.obs_port is not None,
+                       flight_dir=args.flight_dir)
 
 
 def _dump_obs(args, broker) -> None:
@@ -145,6 +161,24 @@ def _dump_obs(args, broker) -> None:
             with open(args.metrics_dump, "w", encoding="utf-8") as handle:
                 handle.write(text)
             print(f"metrics:  -> {args.metrics_dump}", file=sys.stderr)
+
+
+def _obs_server(args, broker):
+    """Start the --obs-port introspection server over a serve-mode broker
+    (SLO engine included); returns it, or ``None`` when the flag is absent.
+    The caller stops it in a ``finally``."""
+    if args.obs_port is None:
+        return None
+    from repro.obs import ObsServer, SloEngine, load_slo_specs
+
+    specs = load_slo_specs(args.slo_config) if args.slo_config else None
+    engine = SloEngine(broker.metrics, specs=specs, flight=broker.flight)
+    server = ObsServer(port=args.obs_port, registry=broker.metrics,
+                       health=engine, flight=broker.flight,
+                       broker=broker).start()
+    print(f"obs:      serving http://127.0.0.1:{server.port} "
+          "(/metrics /healthz /debug/flight /debug/broker)", file=sys.stderr)
+    return server
 
 
 def _effective_cache_dir(args) -> str | None:
@@ -196,12 +230,17 @@ def run_batch(args, world, registry, incidents) -> int:
     cache_file = _cache_file(args)
     with QueryBroker(world, registry=registry, incidents=incidents,
                      config=_serve_config(args)) as broker:
-        _load_cache(broker, cache_file)
-        report = run_campaign(broker, spec)
-        ledger_summary = broker.ledger.summary()
-        backend_stats = broker.stats()["backend"]
-        _spill_cache(broker, cache_file)
-        _dump_obs(args, broker)
+        server = _obs_server(args, broker)
+        try:
+            _load_cache(broker, cache_file)
+            report = run_campaign(broker, spec)
+            ledger_summary = broker.ledger.summary()
+            backend_stats = broker.stats()["backend"]
+            _spill_cache(broker, cache_file)
+            _dump_obs(args, broker)
+        finally:
+            if server is not None:
+                server.stop()
 
     if args.json:
         payload = report.to_dict()
@@ -250,28 +289,35 @@ def run_serve(args, world, registry, incidents, stream=None) -> int:
     cache_file = _cache_file(args)
     with QueryBroker(world, registry=registry, incidents=incidents,
                      config=_serve_config(args)) as broker:
-        _load_cache(broker, cache_file)
-        tickets = [broker.submit(query) for query in queries]
-        for query, ticket in zip(queries, tickets):
-            job = broker.wait(ticket)
-            if job.state is JobState.DONE:
-                final = job.result.execution.outputs.get("final", {})
-                title = final.get("title", "ok") if isinstance(final, dict) else "ok"
-                if args.json:
-                    rows.append({"ticket": job.ticket, "query": query,
-                                 "state": job.state.value, "final": final})
+        server = _obs_server(args, broker)
+        try:
+            _load_cache(broker, cache_file)
+            tickets = [broker.submit(query) for query in queries]
+            for query, ticket in zip(queries, tickets):
+                job = broker.wait(ticket)
+                if job.state is JobState.DONE:
+                    final = job.result.execution.outputs.get("final", {})
+                    title = final.get("title", "ok") if isinstance(final, dict) else "ok"
+                    if args.json:
+                        rows.append({"ticket": job.ticket, "query": query,
+                                     "state": job.state.value, "final": final,
+                                     "trace_id": job.trace_id})
+                    else:
+                        print(f"{job.ticket} done   {title} :: {query[:60]}")
                 else:
-                    print(f"{job.ticket} done   {title} :: {query[:60]}")
-            else:
-                failed += 1
-                if args.json:
-                    rows.append({"ticket": job.ticket, "query": query,
-                                 "state": job.state.value, "error": job.error})
-                else:
-                    print(f"{job.ticket} FAILED {job.error[:80]} :: {query[:60]}")
-        stats = broker.stats()
-        _spill_cache(broker, cache_file)
-        _dump_obs(args, broker)
+                    failed += 1
+                    if args.json:
+                        rows.append({"ticket": job.ticket, "query": query,
+                                     "state": job.state.value, "error": job.error,
+                                     "trace_id": job.trace_id})
+                    else:
+                        print(f"{job.ticket} FAILED {job.error[:80]} :: {query[:60]}")
+            stats = broker.stats()
+            _spill_cache(broker, cache_file)
+            _dump_obs(args, broker)
+        finally:
+            if server is not None:
+                server.stop()
     cache = stats.get("cache")
     if args.json:
         print(json.dumps({"jobs": rows, "cache": cache,
@@ -307,6 +353,10 @@ def run_live(args, world, registry) -> int:
         max_epoch_shards=args.max_epoch_shards,
         forensics=args.forensics,
         tracing=bool(args.trace_out),
+        obs_port=args.obs_port,
+        slo_config=args.slo_config,
+        flight=bool(args.flight_dir),
+        flight_dir=args.flight_dir,
     )
     if args.concurrent_events:
         try:
@@ -394,6 +444,15 @@ def run_live(args, world, registry) -> int:
                   f"{fstats['queries_submitted']} queries submitted, "
                   f"{fstats['query_cache_hits']} cache hits, "
                   f"{fstats['escalations']} corridor escalations")
+        if report.health:
+            breached = [s["name"] for s in report.health["slos"]
+                        if not s["healthy"]]
+            print(f"health:    {'OK' if report.health['healthy'] else 'BREACHED'} "
+                  f"({report.health['evaluations']} evaluations"
+                  + (f"; breached: {', '.join(breached)}" if breached else "")
+                  + ")")
+        for dump in report.flight_dumps:
+            print(f"flight:    postmortem {dump}")
         if report.cache_file:
             print(f"cache:     spilled to {report.cache_file}")
     ok = report.detected_incidents == len(report.incident_epochs)
@@ -463,15 +522,23 @@ def main(argv: list[str] | None = None) -> int:
         print("warning: --metrics-dump needs a broker registry; it applies "
               "to --serve/--batch/--live only", file=sys.stderr)
     result = system.answer(args.query, tracer=tracer)
+    trace_id = None
     if tracer is not None:
         from repro.obs import TraceSink
 
         records = tracer.records()
+        # Single-shot runs produce exactly one trace; printing its id lets
+        # the output line be joined against the --trace-out export the same
+        # way serve-mode ledger rows join via their trace_id.
+        ids = tracer.trace_ids()
+        trace_id = ids[0] if ids else None
         path = TraceSink(args.trace_out).write(records)
         print(f"trace:    {len(records)} spans -> {path}", file=sys.stderr)
 
     if args.json:
         payload = result.to_dict()
+        if trace_id is not None:
+            payload["trace_id"] = trace_id
         if not args.show_code:
             payload["solution"]["source_code"] = (
                 f"<{result.solution.loc} lines; rerun with --show-code>"
@@ -480,6 +547,8 @@ def main(argv: list[str] | None = None) -> int:
         return 0 if result.execution.succeeded else 1
 
     print(f"intent:     {result.analysis.intent}")
+    if trace_id is not None:
+        print(f"trace_id:   {trace_id}")
     print(f"workflow:   {[s.target for s in result.design.chosen.steps]}")
     print(f"generated:  {result.solution.loc} lines "
           f"(QA: {', '.join(result.solution.qa_checks)})")

@@ -21,8 +21,14 @@ from repro.live.clock import SimulationClock, TimelineEvent, WorldTimeline
 from repro.live.detectors import DetectorBank
 from repro.live.forensics import ForensicTrigger, TriggerPolicy
 from repro.live.standing import EpochShardPool, StandingQuery, StandingQueryManager
-from repro.live.telemetry import BGPFeed, TracerouteFeed
-from repro.obs import METRICS_TOPIC
+from repro.live.telemetry import ALERTS_TOPIC, BGPFeed, TracerouteFeed
+from repro.obs import (
+    HEALTH_TOPIC,
+    METRICS_TOPIC,
+    ObsServer,
+    SloEngine,
+    load_slo_specs,
+)
 from repro.serve.broker import QueryBroker, ServeConfig
 from repro.serve.cache import cache_file_path
 from repro.synth.scenarios import cable_cut_event
@@ -64,6 +70,21 @@ class LiveConfig:
     #: tracer it was constructed with.
     tracing: bool = False
     result_timeout_s: float | None = 120.0
+    #: Serve ``/metrics``, ``/healthz``, ``/debug/flight`` and
+    #: ``/debug/broker`` on this port for the duration of the replay
+    #: (``None`` = no server; ``0`` = an ephemeral port).  Setting it also
+    #: arms the SLO engine and flight recorder.
+    obs_port: int | None = None
+    #: Explicit :class:`~repro.obs.SloSpec` list; overrides ``slo_config``.
+    slo_specs: list | None = None
+    #: Path of a JSON SLO spec file (the ``--slo-config`` flag).
+    slo_config: str | None = None
+    #: Run the SLO engine (evaluated once per epoch) even without a server.
+    health: bool = False
+    #: Run the crash flight recorder even without a server; dumps land in
+    #: ``flight_dir`` (defaulting to ``cache_dir``, next to the artifacts).
+    flight: bool = False
+    flight_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.epochs < 1:
@@ -92,6 +113,10 @@ class LiveReport:
     forensic_stats: dict = field(default_factory=dict)
     #: Final snapshot of the broker's unified metrics registry.
     metrics: dict = field(default_factory=dict)
+    #: The SLO engine's final verdict (empty when the health plane was off).
+    health: dict = field(default_factory=dict)
+    #: Flight-recorder postmortems written during the replay.
+    flight_dumps: list = field(default_factory=list)
     cache_file: str | None = None
     epoch_log: list[dict] = field(default_factory=list)
 
@@ -141,6 +166,8 @@ class LiveReport:
             "forensic_cases": self.forensic_cases,
             "forensic_stats": self.forensic_stats,
             "metrics": self.metrics,
+            "health": self.health,
+            "flight_dumps": self.flight_dumps,
             "cache_file": self.cache_file,
             "epoch_log": self.epoch_log,
         }
@@ -219,6 +246,11 @@ def run_live_replay(
     )
     clock = SimulationClock(epoch_seconds=cfg.epoch_seconds, pace_s=cfg.pace_s)
 
+    # Serving an obs port implies the full health plane: SLO engine +
+    # flight recorder, whatever the individual flags say.
+    flight_on = cfg.flight or cfg.obs_port is not None
+    health_on = (cfg.health or cfg.obs_port is not None
+                 or cfg.slo_specs is not None or bool(cfg.slo_config))
     owns_broker = broker is None
     if broker is None:
         broker = QueryBroker(
@@ -228,8 +260,13 @@ def run_live_replay(
                                affinity=cfg.affinity,
                                dispatch_batch=cfg.dispatch_batch,
                                cache_enabled=cfg.cache_enabled,
-                               tracing=cfg.tracing),
+                               tracing=cfg.tracing,
+                               flight=flight_on,
+                               flight_dir=cfg.flight_dir or cfg.cache_dir),
         ).start()
+    # A passed-in broker keeps its own recorder (or none); the driver never
+    # retrofits one, so reused brokers behave identically across replays.
+    flight = broker.flight
     # The broker's tracer and registry are THE obs plane for the replay:
     # epoch ticks, bus accounting, alert spans and forensic cases all land
     # where the served jobs' spans already live.
@@ -241,6 +278,20 @@ def run_live_replay(
             broker.cache.load(cache_file)
 
     bus = EventBus(metrics=broker.metrics)
+    engine = None
+    if health_on:
+        specs = cfg.slo_specs
+        if specs is None and cfg.slo_config:
+            specs = load_slo_specs(cfg.slo_config)
+        engine = SloEngine(broker.metrics, specs=specs, bus=bus, flight=flight)
+    if flight is not None:
+        # The black box rides the bus: recent alerts and health events are
+        # part of any postmortem's context.
+        flight.attach_bus(bus, (ALERTS_TOPIC, HEALTH_TOPIC))
+    server = None
+    if cfg.obs_port is not None:
+        server = ObsServer(port=cfg.obs_port, registry=broker.metrics,
+                           health=engine, flight=flight, broker=broker).start()
     traceroute_feed = TracerouteFeed(
         world, bus, pair_count=cfg.pair_count, samples_per_pair=cfg.samples_per_pair
     )
@@ -290,6 +341,18 @@ def run_live_replay(
                 "epoch": state.index,
                 "metrics": broker.metrics.snapshot(),
             })
+            if flight is not None:
+                flight.record("epoch", {
+                    "epoch": state.index,
+                    "fingerprint": state.fingerprint,
+                    "alerts": len(fresh),
+                })
+                flight.poll()
+            if engine is not None:
+                # One evaluation per epoch; /healthz evaluates on demand
+                # between epochs, so either path sees a breach within one
+                # window of the inducing fault.
+                engine.evaluate()
             epoch_log.append({
                 "epoch": state.index,
                 "fingerprint": state.fingerprint,
@@ -319,10 +382,14 @@ def run_live_replay(
             ),
             forensic_stats=trigger.stats() if trigger else {},
             metrics=broker.metrics.snapshot(),
+            health=engine.verdict() if engine is not None else {},
+            flight_dumps=flight.dump_paths() if flight is not None else [],
             cache_file=cache_file,
             epoch_log=epoch_log,
         )
     finally:
+        if server is not None:
+            server.stop()
         if owns_broker:
             broker.shutdown()
     return report

@@ -248,6 +248,9 @@ class ForensicCase:
     #: triggering alert carried a context this is the *alert's* trace id —
     #: the case span nests under it, so one trace covers alert → verdict.
     trace_id: str = ""
+    #: Flight-recorder postmortem covering this case's verdict job, when its
+    #: worker crashed and a recorder was running ("" otherwise).
+    flight_dump: str = ""
     opened_at: float = field(default=0.0, repr=False)
     span: object = field(default=None, repr=False, compare=False)
 
@@ -280,6 +283,7 @@ class ForensicCase:
                 if self.verdict_latency_s is not None else None
             ),
             "trace_id": self.trace_id,
+            "flight_dump": self.flight_dump,
         }
 
 
@@ -554,6 +558,11 @@ class ForensicTrigger:
                 job = self.broker.wait(case.ticket, timeout)
                 self.pool.unpin(case.world_key)
                 case.state = job.state.value
+                try:
+                    # A crash-retried verdict job carries its postmortem path.
+                    case.flight_dump = self.broker.ledger.get(case.ticket).flight_dump
+                except KeyError:
+                    pass
                 final = None
                 if job.state is JobState.DONE:
                     outputs = job.result.execution.outputs

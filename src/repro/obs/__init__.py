@@ -15,11 +15,34 @@ package is the single place all of that lands:
   gauges and log-bucketed histograms absorbing the scattered stats dicts
   (scheduler depth, affinity routing, shm transport, cache economics,
   bus drops, forensic latency) behind one Prometheus-text dump.
+* :mod:`repro.obs.health` — the :class:`SloEngine` *consumes* the
+  registry: declarative :class:`SloSpec` objectives judged over sliding
+  windows with multi-window burn-rate alerting, breaches published as
+  structured events on the ``health`` bus topic.
+* :mod:`repro.obs.flight` — the :class:`FlightRecorder` black box: a
+  bounded ring of recent spans, bus events, heartbeats and stats that
+  dumps an atomic JSON postmortem on crashes, respawns and page-severity
+  SLO breaches.
+* :mod:`repro.obs.httpd` — :class:`ObsServer`, the opt-in background
+  HTTP thread (``--obs-port``) serving ``/metrics``, ``/healthz``,
+  ``/debug/flight`` and ``/debug/broker`` live during a run.
 
 The package imports nothing from the rest of the repository, so every
-layer — ``core``, ``serve``, ``live`` — can depend on it without cycles.
+layer — ``core``, ``serve``, ``live`` — can depend on it without cycles;
+the health/flight/httpd modules take the bus, broker and stat sources as
+duck-typed objects for the same reason.
 """
 
+from repro.obs.flight import FlightRecorder
+from repro.obs.health import (
+    HEALTH_TOPIC,
+    SloEngine,
+    SloSpec,
+    SloStatus,
+    default_slo_specs,
+    load_slo_specs,
+)
+from repro.obs.httpd import ObsServer
 from repro.obs.metrics import (
     METRICS_TOPIC,
     Counter,
@@ -40,16 +63,24 @@ from repro.obs.trace import (
 
 __all__ = [
     "Counter",
+    "FlightRecorder",
     "Gauge",
+    "HEALTH_TOPIC",
     "Histogram",
     "METRICS_TOPIC",
     "MetricsRegistry",
     "NULL_SPAN",
     "NULL_TRACER",
     "NullTracer",
+    "ObsServer",
+    "SloEngine",
+    "SloSpec",
+    "SloStatus",
     "Span",
     "TraceContext",
     "TraceSink",
     "Tracer",
+    "default_slo_specs",
+    "load_slo_specs",
     "resolve_tracer",
 ]

@@ -52,11 +52,19 @@ def _label_pairs(labels: dict | None) -> LabelPairs:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Prometheus text-exposition escaping: backslash, double-quote and
+    newline must not appear raw inside a quoted label value."""
+    return (value.replace("\\", "\\\\")
+                 .replace('"', '\\"')
+                 .replace("\n", "\\n"))
+
+
 def render_name(name: str, pairs: LabelPairs) -> str:
     """``name{k="v",...}`` — the Prometheus sample identity."""
     if not pairs:
         return name
-    inner = ",".join(f'{k}="{v}"' for k, v in pairs)
+    inner = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in pairs)
     return f"{name}{{{inner}}}"
 
 

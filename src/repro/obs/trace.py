@@ -176,6 +176,7 @@ class Tracer:
         self._records: list[dict] = []
         self._dropped = 0
         self._lock = threading.Lock()
+        self._listeners: list = []
 
     def now(self) -> float:
         return self._clock()
@@ -214,25 +215,55 @@ class Tracer:
 
     # -- record plumbing ---------------------------------------------------
 
+    def add_listener(self, fn) -> None:
+        """``fn(rows)`` is called with every batch of records this tracer
+        keeps — locally recorded spans and cross-process ``ingest`` batches
+        alike.  The flight recorder rides this to tee spans into its ring.
+        Listeners run outside the tracer lock and must not raise."""
+        with self._lock:
+            self._listeners.append(fn)
+
+    def remove_listener(self, fn) -> None:
+        with self._lock:
+            try:
+                self._listeners.remove(fn)
+            except ValueError:
+                pass
+
+    def _notify(self, rows: list[dict]) -> None:
+        if not rows:
+            return
+        with self._lock:
+            listeners = list(self._listeners)
+        for fn in listeners:
+            try:
+                fn(rows)
+            except Exception:
+                pass
+
     def _record(self, row: dict) -> None:
         with self._lock:
             if len(self._records) >= self.max_spans:
                 self._dropped += 1
                 return
             self._records.append(row)
+            notify = bool(self._listeners)
+        if notify:
+            self._notify([row])
 
     def ingest(self, rows: list[dict]) -> int:
         """Absorb span records produced by another process (reply-pipe
         payloads from workers); returns how many were kept."""
-        kept = 0
+        kept_rows = []
         with self._lock:
             for row in rows:
                 if len(self._records) >= self.max_spans:
                     self._dropped += 1
                     continue
                 self._records.append(row)
-                kept += 1
-        return kept
+                kept_rows.append(row)
+        self._notify(kept_rows)
+        return len(kept_rows)
 
     def drain(self) -> list[dict]:
         """All records so far, clearing the buffer (workers ship per job)."""
@@ -275,6 +306,12 @@ class NullTracer:
 
     def now(self) -> float:  # pragma: no cover - nothing times against it
         return 0.0
+
+    def add_listener(self, fn) -> None:
+        pass
+
+    def remove_listener(self, fn) -> None:
+        pass
 
     def start_span(self, name, parent=None, cat="app", trace_id=None, **args):
         return NULL_SPAN

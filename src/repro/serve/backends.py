@@ -343,6 +343,9 @@ class ExecutionBackend:
     #: the class defaults keep a standalone backend fully functional.
     tracer = NULL_TRACER
     metrics: MetricsRegistry | None = None
+    #: Optional :class:`~repro.obs.FlightRecorder`; the process backend
+    #: heartbeats it per worker reply and dumps a postmortem on respawns.
+    flight = None
 
     def start(self) -> "ExecutionBackend":
         return self
@@ -894,6 +897,9 @@ class ProcessPoolBackend(ExecutionBackend):
         _, index, rows = message  # ("done", slot index, result rows)
         slot = self._slots[index]
         for job_id, ok, blob, meta in rows:
+            if meta is not None and self.flight is not None:
+                # Reply metadata doubles as the worker's liveness signal.
+                self.flight.heartbeat(f"worker-{index}", pid=meta["pid"])
             if meta is not None:
                 # Absorb worker-side observability before the future resolves,
                 # so a caller that wakes on the result already sees its spans.
@@ -973,6 +979,18 @@ class ProcessPoolBackend(ExecutionBackend):
                 # queue and its own private reply pipe (plus the close_fds
                 # hand-off in _launch), never broker-side thread state.
                 self._launch(slot)
+                if self.flight is not None:
+                    # The black box's SIGKILL path: record + dump while the
+                    # dead generation's last spans are still in the ring.
+                    # No deadlock: the dump's stat sources take self._lock,
+                    # which is not held here.
+                    detail = {
+                        "slot": slot.index,
+                        "generation": slot.generation,
+                        "inflight_failed": len(crashed),
+                    }
+                    self.flight.record("worker_respawn", detail)
+                    self.flight.dump("worker_respawn", extra=detail)
                 for future in crashed:
                     future.set_exception(WorkerCrashed(slot.index))
 

@@ -10,6 +10,7 @@ broker owns the moving parts — one :class:`PriorityScheduler`, one
 
 from __future__ import annotations
 
+import dataclasses
 import threading
 from dataclasses import dataclass, field
 from enum import Enum
@@ -17,7 +18,7 @@ from typing import Callable
 
 from repro.core.artifacts import PipelineResult
 from repro.core.registry import Registry
-from repro.obs import MetricsRegistry, Tracer, resolve_tracer
+from repro.obs import FlightRecorder, MetricsRegistry, Tracer, resolve_tracer
 from repro.serve.backends import WorkerCrashed, build_backend
 from repro.serve.cache import ArtifactCache
 from repro.serve.provenance import ProvenanceLedger
@@ -76,6 +77,14 @@ class ServeConfig:
     #: stages).  Off by default: the disabled path is a shared
     #: :class:`~repro.obs.NullTracer` and costs nothing measurable.
     tracing: bool = False
+    #: Run a :class:`~repro.obs.FlightRecorder` black box: crashes, retries
+    #: and SIGKILL respawns dump an atomic JSON postmortem with the recent
+    #: span/event ring, a registry snapshot, and this config.
+    flight: bool = False
+    #: Where flight dumps land; defaults to the current directory.  The live
+    #: driver points it at ``--cache-dir`` so postmortems sit next to the
+    #: artifact cache.
+    flight_dir: str | None = None
 
 
 @dataclass
@@ -131,6 +140,7 @@ class QueryBroker:
         config: ServeConfig | None = None,
         tracer=None,
         metrics: MetricsRegistry | None = None,
+        flight: FlightRecorder | None = None,
     ):
         self.config = config or ServeConfig()
         if tracer is not None:
@@ -140,6 +150,17 @@ class QueryBroker:
         else:
             self.tracer = resolve_tracer(None)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        if flight is not None:
+            self.flight = flight
+        elif self.config.flight:
+            self.flight = FlightRecorder(
+                dump_dir=self.config.flight_dir or ".",
+                registry=self.metrics,
+                config={f.name: getattr(self.config, f.name)
+                        for f in dataclasses.fields(self.config)},
+            )
+        else:
+            self.flight = None
         self.cache = (
             ArtifactCache(max_entries=self.config.max_cache_entries)
             if self.config.cache_enabled
@@ -162,6 +183,11 @@ class QueryBroker:
         # worker-side spans/metric deltas as replies arrive.
         self.backend.tracer = self.tracer
         self.backend.metrics = self.metrics
+        self.backend.flight = self.flight
+        if self.flight is not None:
+            self.flight.add_source("broker", self.stats)
+            if self.tracer.enabled:
+                self.tracer.add_listener(self.flight.ingest_spans)
         self._scheduler = PriorityScheduler(metrics=self.metrics)
         self._pool = WorkerPool(
             self._scheduler,
@@ -174,6 +200,7 @@ class QueryBroker:
             claim_batch=(
                 self.config.dispatch_batch if self.backend.supports_batch else 1
             ),
+            heartbeat=self.flight.heartbeat if self.flight is not None else None,
         )
         self._shards: dict[str, WorldShard] = {}
         self._jobs: dict[str, Job] = {}  # insertion-ordered: oldest first
@@ -448,6 +475,7 @@ class QueryBroker:
             "obs": {
                 "tracer": self.tracer.stats(),
                 "metrics": self.metrics.stats(),
+                "flight": self.flight.stats() if self.flight is not None else None,
             },
         }
 
@@ -505,8 +533,28 @@ class QueryBroker:
             excluded = tuple({outcomes[i].worker_index for i in crashed})
             for index in crashed:
                 self.ledger.mark_retried(claimed[index].ticket)
+                self.metrics.counter("broker_job_retries_total").inc()
                 if dspans[index] is not None:
                     dspans[index].annotate(retried=True)
+            if self.flight is not None:
+                # The black box saw the crash: dump before the retry runs,
+                # while the dead worker's last spans are still in the ring,
+                # and pin the postmortem to every retried ticket's ledger row.
+                tickets = [claimed[i].ticket for i in crashed]
+                self.flight.record("worker_crashed", {
+                    "tickets": tickets,
+                    "worker_slots": sorted(excluded),
+                    "worker": worker_name,
+                })
+                dump_path = self.flight.dump("worker_crashed", extra={
+                    "tickets": tickets,
+                    "worker_slots": sorted(excluded),
+                })
+                for ticket in tickets:
+                    try:
+                        self.ledger.get(ticket).flight_dump = dump_path
+                    except KeyError:
+                        pass
             retried = self.backend.run_many(
                 [items[i] for i in crashed], excluded_workers=excluded
             )

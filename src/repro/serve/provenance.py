@@ -65,6 +65,9 @@ class JobProvenance:
     #: Trace id of the job's span tree when the broker traced it ("" when
     #: tracing was off) — joins this ledger row to its trace export.
     trace_id: str = ""
+    #: Path of the flight-recorder postmortem covering this job's crash
+    #: retry ("" when the job never crashed or no recorder was running).
+    flight_dump: str = ""
     stages: list[StageRecord] = field(default_factory=list)
 
     @property
@@ -103,6 +106,7 @@ class JobProvenance:
             "error": self.error,
             "retries": self.retries,
             "trace_id": self.trace_id,
+            "flight_dump": self.flight_dump,
             "queue_delay_s": self.queue_delay_s,
             "run_duration_s": self.run_duration_s,
             "stages": [s.to_dict() for s in self.stages],

@@ -189,5 +189,8 @@ class PriorityScheduler:
                     k: v for k, v in sorted(self._per_shard.items()) if v
                 },
                 "pushed_by_priority": dict(sorted(self._pushed_by_priority.items())),
+                "queued_by_priority": {
+                    k: v for k, v in sorted(self._queued_by_priority.items()) if v
+                },
                 "preemptions": self._preemptions,
             }

@@ -49,6 +49,7 @@ class WorkerPool:
         batch_handler: BatchHandler | None = None,
         claim_batch: int = 1,
         metrics: MetricsRegistry | None = None,
+        heartbeat: Callable[[str], None] | None = None,
     ):
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
@@ -60,6 +61,9 @@ class WorkerPool:
         self._scheduler = scheduler
         self._handler = handler
         self._batch_handler = batch_handler
+        #: ``heartbeat(worker_name)`` fires each claimer-loop iteration —
+        #: the flight recorder's liveness signal for broker-side claimers.
+        self._heartbeat = heartbeat
         self.claim_batch = claim_batch
         self.num_workers = num_workers
         self._name = name
@@ -116,6 +120,8 @@ class WorkerPool:
 
     def _run_loop(self, worker_name: str) -> None:
         while True:
+            if self._heartbeat is not None:
+                self._heartbeat(worker_name)
             if self._stop.is_set() and not self._drain:
                 return  # abandon whatever is still queued
             item = self._scheduler.pop(timeout=_POLL_INTERVAL_S)

@@ -167,3 +167,69 @@ def test_kill_during_forensic_replay_loop_still_closes(chaos_world):
     finally:
         broker.shutdown()
     assert _leaked_segments() == []
+
+
+@pytest.mark.chaos
+def test_sigkill_leaves_a_flight_dump_with_last_spans(chaos_world, tmp_path):
+    """The black box: a SIGKILLed worker's postmortem dump must exist,
+    name the retried jobs, and still contain the dead worker's last spans
+    (teed into the flight ring before the process died).
+
+    CI points ``FLIGHT_DUMP_DIR`` at a workspace directory and uploads
+    whatever lands there as build artifacts."""
+    import json
+
+    dump_dir = os.environ.get("FLIGHT_DUMP_DIR") or str(tmp_path)
+    cables = chaos_world.cable_names()
+    broker = QueryBroker(
+        chaos_world,
+        config=ServeConfig(workers=2, backend="process", dispatch_batch=2,
+                           tracing=True, flight=True, flight_dir=dump_dir),
+    ).start()
+    try:
+        pid0 = broker.backend._slots[0].process.pid
+        # Warm up until the doomed worker has shipped at least one span
+        # back over the reply pipe — that span must survive the SIGKILL.
+        for attempt in range(20):
+            ticket = broker.submit(QUERY.format(cables[attempt % len(cables)]))
+            broker.wait(ticket, timeout=300)
+            if any(r["pid"] == pid0 for r in broker.tracer.records()):
+                break
+        assert any(r["pid"] == pid0 for r in broker.tracer.records()), (
+            "worker 0 never produced a span during warmup"
+        )
+
+        tickets = [
+            broker.submit(QUERY.format(cables[i % len(cables)]),
+                          params=_slow_params(0.8))
+            for i in range(4)
+        ]
+        time.sleep(0.4)
+        broker.backend.kill_worker(0)
+        finished = broker.wait_all(tickets, timeout=300)
+        assert all(job.state is JobState.DONE for job in finished)
+        retried = [t for t in tickets if broker.ledger.get(t).retries == 1]
+        assert retried, "the kill must have landed on at least one job"
+
+        # Every retried job's ledger row points at a real postmortem.
+        for ticket in retried:
+            dump_path = broker.ledger.get(ticket).flight_dump
+            assert dump_path and os.path.exists(dump_path), ticket
+            doc = json.loads(open(dump_path).read())
+            assert doc["reason"] == "worker_crashed"
+            assert ticket in doc["extra"]["tickets"]
+            # The dead worker's last shipped span is in the ring.
+            assert any(r["kind"] == "span" and r["data"]["pid"] == pid0
+                       for r in doc["records"]), dump_path
+            assert doc["config"]["workers"] == 2
+            assert doc["heartbeats"], "reply metadata heartbeats missing"
+        # The SIGKILL respawn itself also dumped (monitor-loop trigger).
+        reasons = set()
+        for path in broker.flight.dump_paths():
+            reasons.add(json.loads(open(path).read())["reason"])
+        assert "worker_respawn" in reasons
+        assert any(name.startswith("flight-") and name.endswith(".json")
+                   for name in os.listdir(dump_dir))
+    finally:
+        broker.shutdown()
+    assert _leaked_segments() == []

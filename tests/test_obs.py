@@ -10,6 +10,7 @@ surface (``--trace-out`` Chrome trace JSON).
 import json
 import logging
 import os
+import threading
 
 import pytest
 
@@ -368,3 +369,111 @@ def test_cli_single_query_trace_out(tmp_path, capsys):
     assert "pipeline.answer" in names
     assert any(n.startswith("stage.") for n in names)
     capsys.readouterr()
+
+
+# -- label-value escaping ----------------------------------------------------
+
+
+def test_prometheus_label_values_are_escaped():
+    """Backslash, double-quote and newline in a label value must render
+    per the Prometheus text exposition rules, not tear the line."""
+    registry = MetricsRegistry()
+    hostile = 'a\\b"c\nd'
+    registry.counter("probe_total", {"path": hostile, "ok": "clean"}).inc()
+    text = registry.prometheus_text()
+    assert 'path="a\\\\b\\"c\\nd"' in text
+    assert 'ok="clean"' in text
+    # The exposition itself stays one-line-per-sample.
+    sample_lines = [l for l in text.splitlines() if l.startswith("probe_total")]
+    assert len(sample_lines) == 1 and sample_lines[0].endswith(" 1")
+    # The snapshot key uses the same rendering, and the SLO engine's
+    # key parser round-trips it back to the original label value.
+    from repro.obs.health import _matches
+
+    key = next(iter(registry.snapshot()["counters"]))
+    assert _matches(key, "probe_total", {"path": hostile})
+    assert not _matches(key, "probe_total", {"path": 'a\\b"c'})
+
+
+# -- tracer thread-safety ----------------------------------------------------
+
+
+def test_tracer_ingest_and_drain_under_concurrent_writers():
+    """Many writers (ingest batches + live spans) against a concurrent
+    drainer: no row may be lost or double-counted — every produced row is
+    either drained, still buffered, or counted as dropped — and listeners
+    see exactly the kept rows."""
+    tracer = Tracer(label="hammer", max_spans=2_000)
+    seen_by_listener = []
+    tracer.add_listener(seen_by_listener.extend)
+    writers, batches, batch_size = 8, 40, 5
+    produced = writers * batches * batch_size
+    start = threading.Barrier(writers + 1)
+    drained = []
+
+    def ingest_worker(worker_id: int) -> None:
+        start.wait()
+        for batch in range(batches):
+            tracer.ingest([
+                {"name": f"w{worker_id}.b{batch}.r{row}", "cat": "test",
+                 "trace_id": f"t{worker_id}", "span_id": f"s{batch}-{row}",
+                 "parent_id": None, "pid": os.getpid(), "label": "hammer",
+                 "start_ts": 0.0, "end_ts": 0.0, "args": {}}
+                for row in range(batch_size)
+            ])
+
+    def drain_worker() -> None:
+        start.wait()
+        for _ in range(200):
+            drained.extend(tracer.drain())
+
+    threads = [threading.Thread(target=ingest_worker, args=(i,))
+               for i in range(writers)]
+    threads.append(threading.Thread(target=drain_worker))
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    remaining = tracer.records()
+    dropped = tracer.stats()["dropped"]
+    assert len(drained) + len(remaining) + dropped == produced
+    # No torn/duplicated rows among the kept ones.
+    kept_names = [r["name"] for r in drained + remaining]
+    assert len(kept_names) == len(set(kept_names))
+    assert len(seen_by_listener) == len(drained) + len(remaining)
+
+
+def test_tracer_add_span_races_with_ingest():
+    """Live span recording and cross-process ingest interleave without
+    corrupting the bounded buffer (the drop path included)."""
+    tracer = Tracer(label="mixed", max_spans=300)
+    start = threading.Barrier(4)
+
+    def spanner() -> None:
+        start.wait()
+        for i in range(200):
+            tracer.add_span(f"live.{i}", cat="test")
+
+    def ingester(worker_id: int) -> None:
+        start.wait()
+        for i in range(200):
+            tracer.ingest([{
+                "name": f"remote.{worker_id}.{i}", "cat": "test",
+                "trace_id": "t", "span_id": f"{worker_id}-{i}",
+                "parent_id": None, "pid": 999, "label": "remote",
+                "start_ts": 0.0, "end_ts": 0.0, "args": {},
+            }])
+
+    threads = [threading.Thread(target=spanner),
+               threading.Thread(target=ingester, args=(1,)),
+               threading.Thread(target=ingester, args=(2,)),
+               threading.Thread(target=spanner)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    stats = tracer.stats()
+    assert stats["spans"] == 300  # bounded: the buffer never overshoots
+    assert stats["spans"] + stats["dropped"] == 800
