@@ -180,6 +180,22 @@ def main(argv: list[str] | None = None) -> int:
         ("routing serve-burst speedup",
          routing["serve_speedup"] >= rbase["min_serve_speedup"],
          f"{routing['serve_speedup']:.2f}x (floor {rbase['min_serve_speedup']}x)"),
+        ("routing engine speedup",
+         routing["engine_speedup"] >= rbase["min_engine_speedup"],
+         f"{routing['engine_speedup']:.2f}x int-indexed SPF vs legacy "
+         f"(floor {rbase['min_engine_speedup']}x)"),
+        ("routing full convergence",
+         routing["full_convergence_ms"] <= rbase["max_full_convergence_ms"],
+         f"{routing['full_convergence_ms']:.2f} ms per cold table "
+         f"(ceiling {rbase['max_full_convergence_ms']} ms)"),
+        ("routing epochs/sec",
+         routing["epochs_per_sec"] >= rbase["min_epochs_per_sec"],
+         f"{routing['epochs_per_sec']:,.0f} on the overlapping-disaster "
+         f"timeline (floor {rbase['min_epochs_per_sec']:,})"),
+        ("routing repair fraction",
+         routing["repair_fraction"] <= rbase["max_repair_fraction"],
+         f"{routing['repair_fraction']:.1%} of touched route pairs repaired "
+         f"rather than shared (ceiling {rbase['max_repair_fraction']:.0%})"),
         ("forensic case per incident",
          forensic["incident_case_rate"] >= fbase["min_incident_case_rate"]
          and forensic["cases"] == forensic["incidents"],

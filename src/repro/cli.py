@@ -130,6 +130,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="run the crash flight recorder and write its "
                           "postmortem dumps into DIR (default: next to the "
                           "artifact cache, or the current directory)")
+    obs.add_argument("--profile", action="store_true",
+                     help="cProfile the --serve/--batch/--live run and dump "
+                          "pstats next to the artifact cache (or the current "
+                          "directory without --cache-dir); inspect with "
+                          "'python -m pstats <dump>'")
     return parser
 
 
@@ -466,6 +471,33 @@ def run_live(args, world, registry) -> int:
     return 0 if ok else 1
 
 
+def _profiled(args, run) -> int:
+    """--profile: cProfile one serve-mode run end to end.
+
+    The pstats dump lands next to the artifact cache (``--cache-dir``) so a
+    perf investigation's profile travels with the run's other artifacts;
+    without a cache dir it lands in the current directory.
+    """
+    import cProfile
+    import os
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        code = run()
+    finally:
+        profiler.disable()
+        out_dir = getattr(args, "cache_dir", None) or "."
+        os.makedirs(out_dir, exist_ok=True)
+        path = os.path.join(out_dir, "profile.pstats")
+        profiler.dump_stats(path)
+        stats = pstats.Stats(profiler)
+        print(f"profile:  {stats.total_calls} calls, {stats.total_tt:.2f}s "
+              f"-> {path}", file=sys.stderr)
+    return code
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     world = build_world(WorldConfig(seed=args.seed))
@@ -500,11 +532,21 @@ def main(argv: list[str] | None = None) -> int:
             if args.concurrent_events < 0:
                 print("error: --concurrent-events must be >= 0", file=sys.stderr)
                 return 2
-            return run_live(args, world, registry)
-        if args.batch:
-            return run_batch(args, world, registry, incidents)
-        return run_serve(args, world, registry, incidents)
 
+        def dispatch() -> int:
+            if args.live:
+                return run_live(args, world, registry)
+            if args.batch:
+                return run_batch(args, world, registry, incidents)
+            return run_serve(args, world, registry, incidents)
+
+        if args.profile:
+            return _profiled(args, dispatch)
+        return dispatch()
+
+    if args.profile:
+        print("warning: --profile wraps the --serve/--batch/--live drivers; "
+              "ignoring it for a single-shot query", file=sys.stderr)
     if not args.query:
         print("error: a query is required (or use --list-cables/--batch/--serve)",
               file=sys.stderr)

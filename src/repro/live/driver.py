@@ -302,6 +302,11 @@ def run_live_replay(
     # and their combined population stays LRU-bounded.
     pool = EpochShardPool(broker, max_epoch_shards=cfg.max_epoch_shards)
     manager = StandingQueryManager(broker, pool=pool)
+    # Both planes consume route *diffs*: the feed advances the cursor, the
+    # standing plane reports off the same one.  (The collector's cache and
+    # repair counters reach broker.metrics through the broker's scrape-time
+    # _refresh_routing collector — the feed's sim is memoized on the world.)
+    manager.attach_delta_stream(bgp_feed.delta_stream)
     trigger = (
         ForensicTrigger(bus, broker, pool=pool, policy=trigger_policy,
                         timeline=timeline)
@@ -323,7 +328,7 @@ def run_live_replay(
         for _ in range(cfg.epochs):
             state = timeline.step()
             traceroute_feed.publish_epoch(state)
-            bgp_feed.publish_epoch(state)
+            bgp_message = bgp_feed.publish_epoch(state)
             fresh = bank.process_pending()
             cases_opened = []
             if trigger is not None:
@@ -362,6 +367,7 @@ def run_live_replay(
                 "cases_opened": len(cases_opened),
                 "standing_from_cache": sum(1 for r in served if r.from_cache),
                 "standing_computed": len(computed),
+                "route_delta": bgp_message["route_delta"],
             })
         duration = time.perf_counter() - started
         if cache_file is not None:

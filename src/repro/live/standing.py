@@ -218,10 +218,25 @@ class StandingQueryManager:
         )
         self._queries: dict[str, StandingQuery] = {}
         self._pending: list[_Pending] = []
+        self._delta_stream = None
         self.evaluations = 0
         self.cache_hits = 0
         self.submitted = 0
         self.cancelled = 0
+
+    # -- route-delta consumption -------------------------------------------
+
+    def attach_delta_stream(self, stream) -> None:
+        """Ride the live plane's cross-epoch route-delta cursor.
+
+        Standing answers are keyed by epoch fingerprint, so the manager
+        never diffs route tables itself; attaching the
+        :class:`~repro.bgp.collector.RouteDeltaStream` the BGP feed
+        advances lets :meth:`stats` report how much routing state actually
+        moved per epoch (changed rows, bytes) instead of the full-table
+        sizes a naive consumer would compare.
+        """
+        self._delta_stream = stream
 
     # -- registration -------------------------------------------------------
 
@@ -337,7 +352,7 @@ class StandingQueryManager:
         return results
 
     def stats(self) -> dict:
-        return {
+        out = {
             "registered": len(self._queries),
             "evaluations": self.evaluations,
             "cache_hits": self.cache_hits,
@@ -349,3 +364,6 @@ class StandingQueryManager:
             "outstanding": len(self._pending),
             "hit_rate": self.cache_hits / self.evaluations if self.evaluations else 0.0,
         }
+        if self._delta_stream is not None:
+            out["route_delta"] = self._delta_stream.stats()
+        return out

@@ -120,24 +120,39 @@ class BGPFeed:
         # the replay hit the same collector through fetch_updates, so the
         # feed and the serve path converge route tables once, not twice.
         self._sim = shared_collector(self.world, self.config)
+        # The feed consumes route *diffs*, not full tables: a cross-epoch
+        # delta stream tracks the previous epoch's failure state (pinning it
+        # in the route cache) and each changed epoch advances it, yielding
+        # exactly the (changed, withdrawn) rows the burst is built from.
+        self._stream = self._sim.delta_stream(frozenset())
         self._previous_failed: frozenset[str] = frozenset()
         self._primed = False
+        self._epoch_delta = None
         self.epochs_published = 0
 
     @property
     def collector(self) -> BGPCollectorSim:
         return self._sim
 
+    @property
+    def delta_stream(self):
+        """The feed's cross-epoch route-delta cursor (see RouteDeltaStream)."""
+        return self._stream
+
     def updates_for(self, epoch: EpochState) -> list:
         """The epoch's updates; advances the feed's failure-set memory."""
         updates = list(self._sim.churn_updates(epoch.window_start, epoch.window_end))
+        self._epoch_delta = None
         if self._primed and epoch.failed_link_ids != self._previous_failed:
+            delta = self._stream.advance(epoch.failed_link_ids)
+            self._epoch_delta = delta
             updates.extend(
                 self._sim.delta_updates(
                     epoch.window_start,
                     self._previous_failed,
                     epoch.failed_link_ids,
                     window_end=epoch.window_end,
+                    delta=delta,
                 )
             )
             updates.sort(key=lambda u: (u.ts, u.peer_asn, u.prefix, u.kind.value))
@@ -147,6 +162,7 @@ class BGPFeed:
 
     def publish_epoch(self, epoch: EpochState) -> dict:
         updates = self.updates_for(epoch)
+        delta = self._epoch_delta
         message = {
             "kind": "bgp",
             "epoch": epoch.index,
@@ -155,6 +171,17 @@ class BGPFeed:
             "update_count": len(updates),
             "withdrawals": sum(1 for u in updates if u.kind.value == "W"),
             "updates": [u.to_dict() for u in updates],
+            # The route-table diff this epoch rode on (None = routes
+            # unchanged): what a delta-consuming subscriber pays instead of
+            # a full-table comparison.
+            "route_delta": (
+                {
+                    "changed": len(delta.changed),
+                    "withdrawn": len(delta.withdrawn),
+                    "bytes": delta.nbytes,
+                }
+                if delta is not None else None
+            ),
         }
         self.bus.publish(BGP_TOPIC, message)
         self.epochs_published += 1

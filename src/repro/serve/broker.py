@@ -211,6 +211,7 @@ class QueryBroker:
         self._submitted_by_priority: dict[int, int] = {}
         self._default_registry = registry
         self.metrics.register_collector(self._refresh_gauges)
+        self.metrics.register_collector(self._refresh_routing)
         if world is not None:
             self.add_world(DEFAULT_WORLD_KEY, world, incidents=incidents,
                            registry=registry)
@@ -450,6 +451,26 @@ class QueryBroker:
             metrics.gauge("cache_entries", {"scope": "broker"}).set(
                 cache["entries"])
         metrics.gauge("broker_active_jobs").set(self._pool.active_jobs)
+
+    def _refresh_routing(self, metrics: MetricsRegistry) -> None:
+        """Scrape-time collector over the routing core: every shared BGP
+        collector living on a shard's world (the serve workers' forensic
+        fetches and the live plane's feed both memoize there) syncs its
+        route-cache, repair-frontier and delta-stream counters into the
+        registry, labelled by world shard.  Epoch shards share the base
+        shard's world object (see EpochShardPool), so sims are deduped by
+        identity — each reports once, under the first shard that holds it."""
+        seen: set[int] = set()
+        for key in self.world_keys():
+            try:
+                world = self.shard(key).world
+            except KeyError:
+                continue  # shard removed between listing and lookup
+            for sim in tuple(getattr(world, "_collector_cache", {}).values()):
+                if id(sim) in seen:
+                    continue
+                seen.add(id(sim))
+                sim.sync_metrics(metrics, {"world": key})
 
     def stats(self) -> dict:
         with self._lock:

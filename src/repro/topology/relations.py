@@ -20,6 +20,23 @@ class ASGraph:
     all_asns: set[int] = field(default_factory=set)
 
     @classmethod
+    def shared(cls, world: SyntheticWorld) -> "ASGraph":
+        """One graph per world, memoized on the world object.
+
+        Worlds are immutable after construction, so every consumer (the BGP
+        collector, the traceroute path resolver, forensics) can share one
+        graph — and, through it, one interned
+        :class:`~repro.topology.routing.RoutingIndex` — instead of paying
+        the adjacency build and ASN interning per subsystem.  A benign
+        construction race builds at most one extra copy.
+        """
+        graph = getattr(world, "_as_graph", None)
+        if graph is None:
+            graph = cls.from_world(world)
+            world._as_graph = graph
+        return graph
+
+    @classmethod
     def from_world(cls, world: SyntheticWorld) -> "ASGraph":
         graph = cls()
         graph.all_asns = set(world.ases.keys())
@@ -76,6 +93,16 @@ class AdjacencyIndex:
     keep redundant links, which is why cable cuts degrade rather than
     partition.
     """
+
+    @classmethod
+    def shared(cls, world: SyntheticWorld) -> "AdjacencyIndex":
+        """One index per world, memoized on the world object (worlds are
+        immutable after construction; a construction race is benign)."""
+        index = getattr(world, "_adjacency_index", None)
+        if index is None:
+            index = cls(world)
+            world._adjacency_index = index
+        return index
 
     def __init__(self, world: SyntheticWorld):
         self.pair_of_link: dict[str, tuple[int, int]] = {

@@ -15,7 +15,7 @@ import hashlib
 from dataclasses import dataclass
 
 from repro.nautilus.mapping import observed_link_rtt_ms
-from repro.topology.relations import ASGraph, failed_as_pairs
+from repro.topology.relations import AdjacencyIndex, ASGraph
 from repro.topology.routing import ValleyFreeRouter
 from repro.synth.iplinks import IPLink
 from repro.synth.world import SyntheticWorld
@@ -44,7 +44,11 @@ class PathResolver:
 
     def __init__(self, world: SyntheticWorld):
         self._world = world
-        self._base_graph = ASGraph.from_world(world)
+        # Shared per world: the resolver rides the same graph (and thus the
+        # same interned RoutingIndex) as the BGP collector, so routing state
+        # is interned once per world, not once per subsystem.
+        self._base_graph = ASGraph.shared(world)
+        self._adjacency = AdjacencyIndex.shared(world)
         self._routers: dict[frozenset[str], ValleyFreeRouter] = {}
         self._path_cache: dict[tuple[int, int, frozenset[str]], ResolvedPath | None] = {}
         self._links_by_pair: dict[tuple[int, int], list[IPLink]] = {}
@@ -102,12 +106,12 @@ class PathResolver:
 
     def _router_for(self, failed_link_ids: frozenset[str]) -> ValleyFreeRouter:
         if failed_link_ids not in self._routers:
-            if failed_link_ids:
-                dead = failed_as_pairs(self._world, sorted(failed_link_ids))
-                graph = self._base_graph.without_pairs(dead)
-            else:
-                graph = self._base_graph
-            self._routers[failed_link_ids] = ValleyFreeRouter(graph)
+            # dead_pairs flows into the router directly (adjacency rows are
+            # filtered at the index level) — no per-failure-set graph copy.
+            dead = self._adjacency.dead_pairs(failed_link_ids)
+            self._routers[failed_link_ids] = ValleyFreeRouter(
+                self._base_graph, dead_pairs=dead or None
+            )
         return self._routers[failed_link_ids]
 
     def _pick_link(

@@ -149,3 +149,29 @@ def test_serve_mode_json(capsys, monkeypatch):
     assert all(j["state"] == "done" for j in payload["jobs"])
     assert payload["jobs"][0]["final"]["title"]
     assert payload["ledger"]["per_stage"]["querymind"]["calls"] == 2
+
+
+def test_parser_profile_flag_defaults_off():
+    args = build_parser().parse_args(["--batch"])
+    assert args.profile is False
+
+
+def test_profile_wraps_batch_and_writes_pstats(capsys, tmp_path):
+    import pstats
+
+    code = main(["--batch", "--limit", "1", "--workers", "1",
+                 "--cache-dir", str(tmp_path), "--profile"])
+    assert code == 0
+    captured = capsys.readouterr()
+    assert "profile:" in captured.err
+    dump = tmp_path / "profile.pstats"
+    assert dump.exists()
+    stats = pstats.Stats(str(dump))  # loadable, non-trivial profile
+    assert stats.total_calls > 0
+
+
+def test_profile_ignored_for_single_shot_query(capsys):
+    code = main(["Identify the impact at a country level due to "
+                 "SeaMeWe-5 cable failure", "--profile"])
+    assert code == 0
+    assert "ignoring it for a single-shot query" in capsys.readouterr().err

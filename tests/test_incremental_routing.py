@@ -155,3 +155,118 @@ def test_world_memoizes_prefixes_and_fingerprint():
     first = world.fingerprint()
     assert world.fingerprint() == first
     assert world.fingerprint() is world._fingerprint
+
+
+# -- raw routing core: converge_full, delta streams, pinning, metrics --------
+
+
+def test_converge_full_matches_routes_under_full(world, catalog_failure_sets):
+    """The int-indexed engine's one-shot convergence must be byte-identical
+    to the legacy-router full recompute — values and row order."""
+    sim = BGPCollectorSim(world)
+    for failure_set in [frozenset()] + catalog_failure_sets[:4]:
+        fast = sim.converge_full(failure_set)
+        slow = sim.routes_under_full(failure_set)
+        assert list(fast.items()) == list(slow.items())
+
+
+def test_deltas_since_apply_reconstructs_and_counts(world, catalog_failure_sets):
+    sim = BGPCollectorSim(world)
+    baseline = sim.routes_under(frozenset())
+    target = next(fs for fs in catalog_failure_sets if fs)
+    before = sim.cache_info()
+    delta = sim.deltas_since(frozenset(), target)
+    assert delta.apply(baseline) == sim.routes_under(target)
+    assert not delta.empty
+    assert delta.nbytes > 0
+    info = sim.cache_info()
+    assert info["delta_emits"] == before["delta_emits"] + 1
+    assert info["delta_routes"] == before["delta_routes"] + delta.route_count
+    assert info["delta_bytes"] == before["delta_bytes"] + delta.nbytes
+
+
+def test_delta_stream_pin_protects_position_from_eviction(
+    world, catalog_failure_sets
+):
+    """The stream's current position must survive any cache pressure; once
+    the stream closes, the entry becomes an ordinary eviction candidate."""
+    nonempty = [fs for fs in catalog_failure_sets if fs]
+    assert len(nonempty) >= 5
+    sim = BGPCollectorSim(world, CollectorConfig(route_cache_entries=2))
+    stream = sim.delta_stream()
+    position = nonempty[0]
+    stream.advance(position)
+    table = sim.routes_under(position)
+    for failure_set in nonempty[1:5]:  # flood the tiny LRU
+        sim.routes_under(failure_set)
+    assert sim.cache_info()["pinned"] == 1
+    misses_before = sim.cache_info()["misses"]
+    assert sim.routes_under(position) is table  # pinned: same object, no miss
+    assert sim.cache_info()["misses"] == misses_before
+
+    stream.close()
+    assert stream.closed
+    assert sim.cache_info()["pinned"] == 0
+    for failure_set in nonempty[1:5]:
+        sim.routes_under(failure_set)
+    misses_before = sim.cache_info()["misses"]
+    sim.routes_under(position)  # unpinned entry was evicted: recompute
+    assert sim.cache_info()["misses"] == misses_before + 1
+
+
+def test_delta_stream_stats_and_context_manager(world, catalog_failure_sets):
+    sim = BGPCollectorSim(world)
+    with sim.delta_stream() as stream:
+        total_routes = 0
+        for failure_set in catalog_failure_sets[:3]:
+            total_routes += stream.advance(failure_set).route_count
+        stats = stream.stats()
+        assert stats["deltas_emitted"] == 3
+        assert stats["routes_emitted"] == total_routes
+        assert stats["bytes_emitted"] > 0
+    assert stream.stats()["closed"]
+    with pytest.raises(RuntimeError):
+        stream.advance(frozenset())
+
+
+def test_cache_info_exposes_repair_and_delta_counters(world):
+    info = BGPCollectorSim(world).cache_info()
+    for key in (
+        "pinned", "pairs_repaired", "pairs_shared", "repair_frontier_peak",
+        "delta_emits", "delta_routes", "delta_bytes",
+    ):
+        assert key in info, key
+
+
+def test_sync_metrics_is_idempotent_across_scrapes(world, catalog_failure_sets):
+    from repro.obs.metrics import MetricsRegistry
+
+    sim = BGPCollectorSim(world)
+    for failure_set in catalog_failure_sets[:3]:
+        sim.routes_under(failure_set)
+    registry = MetricsRegistry()
+    sim.attach_metrics(registry, {"world": "t"})
+    text = registry.prometheus_text()
+    assert 'routing_misses_total{world="t"}' in text
+    misses = registry.counter("routing_misses_total", {"world": "t"}).value
+    assert misses == sim.cache_info()["misses"]
+    registry.prometheus_text()  # second scrape: high-water mark, no re-count
+    assert registry.counter(
+        "routing_misses_total", {"world": "t"}
+    ).value == misses
+    sim.routes_under(frozenset("no-such-link"))  # new work shows up as +1
+    registry.prometheus_text()
+    assert registry.counter(
+        "routing_misses_total", {"world": "t"}
+    ).value == misses + 1
+
+
+def test_broker_scrape_surfaces_routing_series(world):
+    from repro.serve import QueryBroker, ServeConfig
+
+    broker = QueryBroker(world, config=ServeConfig(workers=1))  # never started
+    sim = shared_collector(broker.shard().world)
+    sim.routes_under(frozenset())
+    text = broker.metrics.prometheus_text()
+    assert 'routing_full_recomputes_total{world="default"}' in text
+    assert 'routing_route_cache_entries{world="default"}' in text

@@ -526,3 +526,44 @@ def test_live_cli_rejects_bad_flags(capsys):
 
     assert main(["--live", "--epochs", "0"]) == 2
     assert main(["--live", "--pace-ms", "-1"]) == 2
+
+
+def test_bgp_feed_publishes_route_delta_summaries(world):
+    """Epoch messages carry the route-table diff the burst rode on (None
+    when the failure set did not move), and the feed's cursor only
+    advances on actual transitions."""
+    bus = EventBus()
+    feed = BGPFeed(world, bus)
+    cable = most_linked_cable(world)
+    dead = frozenset(l.id for l in world.links_on_cable(cable.id))
+
+    quiet = feed.publish_epoch(_epoch(world, 0))
+    burst = feed.publish_epoch(_epoch(world, 1, failed_links=dead, changed=True))
+    plateau = feed.publish_epoch(_epoch(world, 2, failed_links=dead))
+    heal = feed.publish_epoch(_epoch(world, 3, changed=True))
+
+    assert quiet["route_delta"] is None
+    assert plateau["route_delta"] is None
+    cut_delta = burst["route_delta"]
+    assert cut_delta["changed"] + cut_delta["withdrawn"] > 0
+    assert cut_delta["bytes"] > 0
+    assert heal["route_delta"]["changed"] > 0  # repairs re-announce routes
+    stats = feed.delta_stream.stats()
+    assert stats["deltas_emitted"] == 2  # cut + heal, never the steady epochs
+    assert feed.delta_stream.position == frozenset()  # healed back to baseline
+
+
+def test_standing_manager_reports_attached_delta_stream(world):
+    with QueryBroker(world, config=ServeConfig(workers=1)) as broker:
+        manager = StandingQueryManager(broker)
+        assert "route_delta" not in manager.stats()
+        bus = EventBus()
+        feed = BGPFeed(world, bus)
+        manager.attach_delta_stream(feed.delta_stream)
+        feed.publish_epoch(_epoch(world, 0))
+        cable = most_linked_cable(world)
+        dead = frozenset(l.id for l in world.links_on_cable(cable.id))
+        feed.publish_epoch(_epoch(world, 1, failed_links=dead, changed=True))
+        stats = manager.stats()["route_delta"]
+        assert stats["deltas_emitted"] == 1
+        assert stats["routes_emitted"] > 0

@@ -301,3 +301,59 @@ def test_baseline_survives_arbitrary_failure_history(history):
         _ROUTING_SIM.routes_under(failed)
     assert (_ROUTING_SIM.routes_under(frozenset())
             == _ROUTING_SIM.routes_under_full(frozenset()))
+
+
+# -- raw routing core, per-origin repair, delta streams -----------------------------
+
+
+@settings(max_examples=10, deadline=None)
+@given(failure_sets)
+def test_engine_paths_equal_legacy_router(failed):
+    """The int-indexed batched SPF must be byte-identical to the legacy
+    per-AS dict walk — same paths, same tie-breaks — for any failure set."""
+    from repro.topology.relations import AdjacencyIndex, ASGraph
+    from repro.topology.routing import LegacyValleyFreeRouter, shared_index
+
+    graph = ASGraph.shared(_ROUTING_WORLD)
+    index = shared_index(graph)
+    dead = AdjacencyIndex.shared(_ROUTING_WORLD).dead_pairs(failed)
+    legacy = LegacyValleyFreeRouter(graph.without_pairs(dead) if dead else graph)
+    rows = index.filtered_rows(index.intern_pairs(dead))
+    for peer in _ROUTING_SIM.peers:
+        assert index.paths_over(peer, rows) == legacy.paths_from(peer)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.lists(failure_sets, min_size=2, max_size=6))
+def test_repair_equals_full_under_any_query_order(history):
+    """Per-origin frontier repair must equal a from-scratch SPF no matter
+    which ancestor chain the query order happens to build in the cache."""
+    sim = BGPCollectorSim(_ROUTING_WORLD)
+    for failed in history:
+        assert sim.routes_under(failed) == _ROUTING_SIM.routes_under_full(failed)
+
+
+@settings(max_examples=12, deadline=None)
+@given(failure_sets)
+def test_delta_replay_reconstructs_table_byte_identically(failed):
+    """A route delta applied to the baseline must rebuild the degraded
+    table exactly — same rows, same paths, same iteration order."""
+    baseline = _ROUTING_SIM.routes_under(frozenset())
+    delta = _ROUTING_SIM.deltas_since(frozenset(), failed)
+    rebuilt = delta.apply(baseline)
+    assert list(rebuilt.items()) == list(
+        _ROUTING_SIM.routes_under_full(failed).items()
+    )
+
+
+@settings(max_examples=8, deadline=None)
+@given(st.lists(failure_sets, min_size=1, max_size=5))
+def test_delta_stream_chain_reconstructs_every_epoch(history):
+    """Replaying a delta stream's cuts *and heals* onto a running table
+    keeps it equal to the full recompute at every epoch."""
+    sim = BGPCollectorSim(_ROUTING_WORLD)
+    table = dict(sim.routes_under(frozenset()))
+    with sim.delta_stream() as stream:
+        for failed in history:
+            table = stream.advance(failed).apply(table)
+            assert table == _ROUTING_SIM.routes_under_full(failed)
