@@ -5,9 +5,11 @@ observability benchmarks (each writes its ``BENCH_*.json``), then gates
 the combined results against the committed floor in
 ``benchmarks/bench_baseline.json`` — warm-cache hit rate, worker/backends
 speedups, convergence speedups, the closed-loop forensic guarantees (one
-completed case per incident, warm replays submitting nothing) and the
+completed case per incident, warm replays submitting nothing), the
 tracing-plane guarantees (near-zero overhead when disabled, complete
-broker-to-worker span chains when enabled) must not regress below it.
+broker-to-worker span chains when enabled) and the durability
+guarantees (journal tax within a few percent, exactly-once resume with
+byte-identical artifacts) must not regress below it.
 Every emitted ``BENCH_*.json`` is stamped with run metadata (git sha,
 cpu count, python version, per-benchmark wall time) so archived artifacts
 are comparable across machines and commits.  CI runs this as a smoke
@@ -149,11 +151,15 @@ def main(argv: list[str] | None = None) -> int:
         base = json.load(handle)
     sbase, rbase = base["serve"], base["routing"]
     fbase, obase = base["forensic"], base["obs"]
+    dbase = base["durability"]
     cores = serve.get("cores", bench_serve_throughput.available_cores())
     # Tiny smoke campaigns jitter more than the full-run overhead bar; the
     # baseline carries a dedicated (looser) smoke ceiling for them.
     max_overhead = (obase["smoke_max_overhead_pct"] if args.smoke
                     else obase["max_overhead_pct"])
+    max_journal_tax = (dbase["smoke_max_journal_overhead_pct"] if args.smoke
+                       else dbase["max_journal_overhead_pct"])
+    durability = serve["durability"]
 
     print(f"\n=== regression gate vs {os.path.relpath(args.baseline)} ===")
     checks = [
@@ -223,6 +229,20 @@ def main(argv: list[str] | None = None) -> int:
          obs["overhead_pct"] <= max_overhead,
          f"{obs['overhead_pct']:.1f}% traced vs null throughput "
          f"(ceiling {max_overhead}%)"),
+        ("journal overhead",
+         durability["journal_overhead_pct"] <= max_journal_tax,
+         f"{durability['journal_overhead_pct']:+.1f}% journaled vs "
+         f"unjournaled throughput, best of {durability['repeats']} "
+         f"(ceiling {max_journal_tax}%)"),
+        ("exactly-once resume",
+         durability["resume_replayed"] == durability["jobs"]
+         and durability["resume_reexecuted"] == 0,
+         f"{durability['resume_replayed']}/{durability['jobs']} completions "
+         f"re-joined from the journal, "
+         f"{durability['resume_reexecuted']} re-executed (must be 0)"),
+        ("resume artifact identity",
+         bool(durability["resume_identical"]),
+         str(durability["resume_identical"])),
         ("span completeness",
          obs["span_completeness"] >= obase["min_span_completeness"],
          f"{obs['span_completeness']:.0%} of process-backend jobs show the "

@@ -84,6 +84,23 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--cache-dir", metavar="DIR",
                        help="persist the artifact cache in DIR so warm hit "
                             "rates survive broker restarts")
+    durability = parser.add_argument_group("durability")
+    durability.add_argument("--journal-dir", metavar="DIR",
+                            help="write-ahead journal directory: every "
+                                 "submission/completion is fsync'd there "
+                                 "before it happens, so a killed broker "
+                                 "restarted with the same DIR resumes the "
+                                 "campaign exactly once (finished jobs replay "
+                                 "from the journal, unfinished ones rerun)")
+    durability.add_argument("--job-timeout", type=float, metavar="S",
+                            help="per-job wall-clock deadline for --backend "
+                                 "process: overdue jobs fail with "
+                                 "JobDeadlineExceeded and their worker is "
+                                 "killed (default: no deadline)")
+    durability.add_argument("--drain-deadletter", action="store_true",
+                            help="with --journal-dir: list the quarantined "
+                                 "poison jobs, journal a drain record so "
+                                 "they become submittable again, and exit")
     live = parser.add_argument_group("live mode")
     live.add_argument("--live", action="store_true",
                       help="replay a scenario timeline: epoch-stepped world "
@@ -147,7 +164,9 @@ def _serve_config(args) -> "ServeConfig":
                        dispatch_batch=args.dispatch_batch,
                        tracing=bool(args.trace_out),
                        flight=bool(args.flight_dir) or args.obs_port is not None,
-                       flight_dir=args.flight_dir)
+                       flight_dir=args.flight_dir,
+                       journal_dir=args.journal_dir,
+                       job_timeout_s=args.job_timeout)
 
 
 def _dump_obs(args, broker) -> None:
@@ -182,7 +201,8 @@ def _obs_server(args, broker):
                        health=engine, flight=broker.flight,
                        broker=broker).start()
     print(f"obs:      serving http://127.0.0.1:{server.port} "
-          "(/metrics /healthz /debug/flight /debug/broker)", file=sys.stderr)
+          "(/metrics /healthz /debug/flight /debug/broker /debug/deadletter)",
+          file=sys.stderr)
     return server
 
 
@@ -362,6 +382,7 @@ def run_live(args, world, registry) -> int:
         slo_config=args.slo_config,
         flight=bool(args.flight_dir),
         flight_dir=args.flight_dir,
+        journal_dir=args.journal_dir,
     )
     if args.concurrent_events:
         try:
@@ -498,8 +519,42 @@ def _profiled(args, run) -> int:
     return code
 
 
+def drain_deadletter(args) -> int:
+    """--drain-deadletter: inspect and release the poison-job quarantine.
+
+    Opens the journal directly (no broker, no workers): prints every
+    quarantined (world, query) signature with its crash history, appends a
+    ``deadletter_drain`` record so the next broker over this journal will
+    accept those submissions again, and exits.
+    """
+    from repro.serve.journal import DeadLetterQueue, WriteAheadJournal
+
+    if not args.journal_dir:
+        print("error: --drain-deadletter requires --journal-dir", file=sys.stderr)
+        return 2
+    with WriteAheadJournal(args.journal_dir) as journal:
+        queue = DeadLetterQueue(journal=journal)
+        entries = queue.drain()
+        for entry in entries:
+            print(f"drained:  {entry.get('world_key', '?')} :: "
+                  f"{entry.get('query', '')[:80]} "
+                  f"({entry.get('crashes', '?')} crashes on workers "
+                  f"{entry.get('worker_slots', [])})")
+    if not entries:
+        print("deadletter queue is empty; nothing drained")
+    else:
+        print(f"drained {len(entries)} quarantined signature"
+              f"{'s' if len(entries) != 1 else ''}; resubmissions will "
+              "run fresh")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+
+    if args.drain_deadletter:
+        return drain_deadletter(args)
+
     world = build_world(WorldConfig(seed=args.seed))
 
     if args.list_cables:

@@ -85,6 +85,11 @@ class LiveConfig:
     #: ``flight_dir`` (defaulting to ``cache_dir``, next to the artifacts).
     flight: bool = False
     flight_dir: str | None = None
+    #: Write-ahead journal directory for the replay's broker (``None`` =
+    #: no journal).  A journaled replay records submissions, completions,
+    #: standing registrations and forensic case transitions, so a killed
+    #: replay resumes instead of recomputing (see serve/journal.py).
+    journal_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.epochs < 1:
@@ -262,7 +267,8 @@ def run_live_replay(
                                cache_enabled=cfg.cache_enabled,
                                tracing=cfg.tracing,
                                flight=flight_on,
-                               flight_dir=cfg.flight_dir or cfg.cache_dir),
+                               flight_dir=cfg.flight_dir or cfg.cache_dir,
+                               journal_dir=cfg.journal_dir),
         ).start()
     # A passed-in broker keeps its own recorder (or none); the driver never
     # retrofits one, so reused brokers behave identically across replays.
@@ -320,6 +326,10 @@ def run_live_replay(
         )]
     for sq in standing_queries:
         manager.register(sq)
+    # A journaled replay resumed after a crash re-arms whatever standing
+    # queries were live when it died (explicit registrations above win on
+    # name conflicts).
+    manager.restore_registrations()
 
     standing_results: list[dict] = []
     epoch_log: list[dict] = []

@@ -40,7 +40,12 @@ from repro.live.clock import EpochState, WorldTimeline, compose_fingerprint
 from repro.live.standing import EpochShardPool
 from repro.live.telemetry import ALERTS_TOPIC
 from repro.obs import MetricsRegistry, TraceContext, resolve_tracer
-from repro.serve.broker import DEFAULT_WORLD_KEY, JobState, QueryBroker
+from repro.serve.broker import (
+    DEFAULT_WORLD_KEY,
+    JobState,
+    QueryBroker,
+    QueueSaturated,
+)
 from repro.synth.geography import COUNTRIES
 
 #: ArtifactCache stage name for triggered-forensic verdicts; hit/miss
@@ -130,6 +135,11 @@ class TriggerPolicy:
     and while the verdict stays undetermined the case re-queries over the
     next untried corridor, up to ``max_queries_per_case`` queries — the
     analyst's "widen the search" loop, made explicit and budgeted.
+
+    ``submit_retry_limit`` / ``submit_backoff_s`` govern what happens when
+    the broker's admission queue is saturated: the trigger backs off and
+    resubmits up to the limit before giving the case up (counted in
+    ``forensic_submit_rejected_total``) — never a silent drop.
     """
 
     templates: tuple[tuple[str, str], ...] = tuple(
@@ -148,10 +158,16 @@ class TriggerPolicy:
         ("north_america", "asia"),
     )
     priority: int = FORENSIC_PRIORITY
+    submit_retry_limit: int = 4
+    submit_backoff_s: float = 0.02
 
     def __post_init__(self) -> None:
         if self.dedup_window_epochs < 1:
             raise ValueError("dedup_window_epochs must be >= 1")
+        if self.submit_retry_limit < 0:
+            raise ValueError("submit_retry_limit must be >= 0")
+        if self.submit_backoff_s < 0:
+            raise ValueError("submit_backoff_s must be >= 0")
         if self.max_cases_per_epoch < 1:
             raise ValueError("max_cases_per_epoch must be >= 1")
         if self.max_total_cases is not None and self.max_total_cases < 0:
@@ -351,7 +367,18 @@ class ForensicTrigger:
             "queries_submitted": 0,
             "query_cache_hits": 0,
             "escalations": 0,
+            "submit_retries": 0,
+            "submit_rejected": 0,
         }
+
+    def _journal_case(self, record: dict) -> None:
+        """Append a forensic-case transition to the broker's WAL (when one
+        is configured): a restarted broker lists interrupted cases in its
+        recovery report instead of forgetting the incident existed."""
+        journal = getattr(self.broker, "journal", None)
+        if journal is None:
+            return
+        journal.append("case", dict(record, ts=time.time()), sync=False)
 
     # -- episode bookkeeping ------------------------------------------------
 
@@ -482,6 +509,17 @@ class ForensicTrigger:
             case.trace_id = case.span.context.trace_id
         self._counts["cases_opened"] += 1
         self.cases.append(case)
+        self._journal_case({
+            "case_id": case.case_id,
+            "state": "open",
+            "alert_kind": case.alert_kind,
+            "series_key": case.series_key,
+            "alert_epoch": case.alert_epoch,
+            "episode_epoch": case.episode_epoch,
+            "event_id": case.event_id,
+            "expected_cables": list(case.expected_cables),
+            "fingerprint": case.fingerprint,
+        })
         if not self._start_attempt(case):
             self._open_cases.append(case)
         return case
@@ -536,10 +574,13 @@ class ForensicTrigger:
             case.world_key = self.pool.materialize(
                 self.base_world_key, case.fingerprint, case.expected_cables
             )
-            case.ticket = self.broker.submit(
-                case.query, priority=self.policy.priority,
-                world_key=case.world_key, trace_parent=case.span,
-            )
+            ticket = self._submit_with_backoff(case)
+            if ticket is None:
+                case.state = "failed"
+                case.error = "broker queue saturated"
+                self._finish(case, None)
+                return True
+            case.ticket = ticket
             self.pool.pin(case.world_key)
             self._counts["queries_submitted"] += 1
             return False
@@ -547,6 +588,32 @@ class ForensicTrigger:
         # and undetermined): the last cached outcome stands.
         self._finish(case, None)
         return True
+
+    def _submit_with_backoff(self, case: ForensicCase) -> str | None:
+        """Submit the case's query, absorbing a saturated admission queue
+        with a bounded exponential back-off instead of a silent drop.
+        Returns the ticket, or ``None`` once the retry budget is spent
+        (counted in ``forensic_submit_rejected_total``)."""
+        delay = self.policy.submit_backoff_s
+        for attempt in range(self.policy.submit_retry_limit + 1):
+            try:
+                return self.broker.submit(
+                    case.query, priority=self.policy.priority,
+                    world_key=case.world_key, trace_parent=case.span,
+                )
+            except QueueSaturated:
+                if attempt >= self.policy.submit_retry_limit:
+                    break
+                self._counts["submit_retries"] += 1
+                if self._metrics is not None:
+                    self._metrics.counter("forensic_submit_retries_total").inc()
+                if delay > 0:
+                    time.sleep(delay)
+                delay = min(delay * 2, 1.0)
+        self._counts["submit_rejected"] += 1
+        if self._metrics is not None:
+            self._metrics.counter("forensic_submit_rejected_total").inc()
+        return None
 
     def collect(self, timeout: float | None = None) -> list[ForensicCase]:
         """Join every outstanding ticket back into its case's verdict,
@@ -629,6 +696,16 @@ class ForensicTrigger:
             self._metrics.histogram(
                 "forensic_verdict_latency_seconds"
             ).observe(case.verdict_latency_s)
+        self._journal_case({
+            "case_id": case.case_id,
+            "state": "closed",
+            "verdict": case.verdict,
+            "identified_cable": case.identified_cable,
+            "artifact_digest": case.artifact_digest,
+            "queries_run": case.queries_run,
+            "from_cache": case.from_cache,
+            "error": case.error,
+        })
 
     # -- introspection -------------------------------------------------------
 

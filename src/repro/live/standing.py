@@ -240,15 +240,34 @@ class StandingQueryManager:
 
     # -- registration -------------------------------------------------------
 
+    def _journal(self, kind: str, record: dict) -> None:
+        """Mirror a registration change into the broker's WAL (when one is
+        configured) so a restarted broker can list the standing queries
+        that were live when it died."""
+        journal = getattr(self.broker, "journal", None)
+        if journal is None:
+            return
+        journal.append(kind, record, sync=False)
+
     def register(self, sq: StandingQuery) -> StandingQuery:
         if sq.name in self._queries:
             raise ValueError(f"standing query {sq.name!r} already registered")
         self._queries[sq.name] = sq
+        self._journal("standing_register", {
+            "name": sq.name,
+            "query": sq.query,
+            "params": sq.params_dict(),
+            "priority": sq.priority,
+            "world_key": sq.world_key,
+            "every_n_epochs": sq.every_n_epochs,
+        })
         return sq
 
     def deregister(self, name: str) -> int:
         """Remove a query; cancels its still-queued tickets.  Returns how
         many in-flight submissions were cancelled."""
+        if name in self._queries:
+            self._journal("standing_deregister", {"name": name})
         self._queries.pop(name, None)
         cancelled = 0
         kept: list[_Pending] = []
@@ -264,6 +283,31 @@ class StandingQueryManager:
         self._pending = kept
         self.cancelled += cancelled
         return cancelled
+
+    def restore_registrations(self) -> list[StandingQuery]:
+        """Re-register every standing query the broker's journal recorded
+        as live (registered, never deregistered) before a crash.  Already-
+        registered names are left alone; nothing is re-journaled — the
+        registrations being restored are the journal's own.  Returns the
+        queries restored."""
+        journal = getattr(self.broker, "journal", None)
+        if journal is None:
+            return []
+        restored: list[StandingQuery] = []
+        for name, rec in sorted(journal.state.standing.items()):
+            if name in self._queries:
+                continue
+            sq = StandingQuery(
+                name=rec["name"],
+                query=rec["query"],
+                params=tuple((rec.get("params") or {}).items()),
+                priority=int(rec.get("priority", 0)),
+                world_key=rec.get("world_key", DEFAULT_WORLD_KEY),
+                every_n_epochs=int(rec.get("every_n_epochs", 1)),
+            )
+            self._queries[sq.name] = sq
+            restored.append(sq)
+        return restored
 
     def names(self) -> list[str]:
         return sorted(self._queries)

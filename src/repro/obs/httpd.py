@@ -11,6 +11,9 @@ expose its health and state as a network interface, not a log file.
 ``/debug/flight``   trigger a flight-recorder dump and return it inline
 ``/debug/broker``   ``broker.stats()`` — scheduler depths, affinity,
                     per-band counters — as JSON
+``/debug/deadletter``  the poison-job dead-letter queue: every
+                    quarantined (world, query) signature with its crash
+                    history, as JSON
 ==================  ====================================================
 
 ``/healthz`` evaluates the SLO engine on demand, so a breach is visible
@@ -117,6 +120,16 @@ class ObsServer:
                 {"error": "no broker attached"})
         return 200, "application/json", _json_bytes(self.broker.stats())
 
+    def _debug_deadletter(self) -> tuple[int, str, bytes]:
+        deadletter = getattr(self.broker, "deadletter", None)
+        if deadletter is None:
+            return 503, "application/json", _json_bytes(
+                {"error": "no broker with a dead-letter queue attached"})
+        return 200, "application/json", _json_bytes({
+            "depth": deadletter.depth,
+            "entries": deadletter.entries(),
+        })
+
     def _route(self, path: str) -> tuple[int, str, bytes]:
         self.requests_served += 1
         handlers = {
@@ -124,6 +137,7 @@ class ObsServer:
             "/healthz": self._healthz,
             "/debug/flight": self._debug_flight,
             "/debug/broker": self._debug_broker,
+            "/debug/deadletter": self._debug_deadletter,
         }
         handler = handlers.get(path.rstrip("/") or "/")
         if handler is None:

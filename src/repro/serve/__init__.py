@@ -16,10 +16,12 @@ from repro.serve.backends import (
     BACKEND_NAMES,
     BackendError,
     ExecutionBackend,
+    JobDeadlineExceeded,
     JobPayload,
     ProcessPoolBackend,
     ThreadPoolBackend,
     WorkerCrashed,
+    affinity_key,
     build_backend,
 )
 from repro.serve.broker import (
@@ -27,7 +29,9 @@ from repro.serve.broker import (
     BrokerError,
     Job,
     JobState,
+    PoisonJobQuarantined,
     QueryBroker,
+    QueueSaturated,
     ServeConfig,
 )
 from repro.serve.cache import ArtifactCache, content_key
@@ -38,8 +42,20 @@ from repro.serve.campaign import (
     aggregate_rankings,
     run_campaign,
 )
+from repro.serve.journal import (
+    DeadLetterQueue,
+    JournalState,
+    WriteAheadJournal,
+    replay_directory,
+)
 from repro.serve.provenance import JobProvenance, ProvenanceLedger, StageRecord
-from repro.serve.scheduler import PriorityScheduler, SchedulerClosed, WorldShard
+from repro.serve.recovery import RecoveryReport, ReplayedResult, recover
+from repro.serve.scheduler import (
+    PriorityScheduler,
+    SchedulerClosed,
+    SchedulerSaturated,
+    WorldShard,
+)
 from repro.serve.workers import WorkerPool
 
 __all__ = [
@@ -47,10 +63,14 @@ __all__ = [
     "BACKEND_NAMES",
     "BackendError",
     "BrokerError",
+    "DeadLetterQueue",
     "ExecutionBackend",
+    "JobDeadlineExceeded",
     "JobPayload",
+    "JournalState",
     "ProcessPoolBackend",
     "ThreadPoolBackend",
+    "affinity_key",
     "build_backend",
     "CampaignJob",
     "CampaignReport",
@@ -59,16 +79,24 @@ __all__ = [
     "Job",
     "JobProvenance",
     "JobState",
+    "PoisonJobQuarantined",
     "PriorityScheduler",
     "ProvenanceLedger",
     "QueryBroker",
+    "QueueSaturated",
+    "RecoveryReport",
+    "ReplayedResult",
     "SchedulerClosed",
+    "SchedulerSaturated",
     "ServeConfig",
     "StageRecord",
     "WorkerCrashed",
     "WorkerPool",
     "WorldShard",
+    "WriteAheadJournal",
     "aggregate_rankings",
     "content_key",
+    "recover",
+    "replay_directory",
     "run_campaign",
 ]

@@ -98,6 +98,41 @@ class WorkerCrashed(BackendError):
         return (WorkerCrashed, (self.worker_index, self.args[0]))
 
 
+class JobDeadlineExceeded(BackendError):
+    """The monitor plane killed a worker whose job overran its deadline.
+
+    Deliberately not a :class:`WorkerCrashed`: a deadline miss is the
+    job's fault, so the broker fails it instead of retrying it into a
+    second deadline miss (sibling jobs on the killed worker *do* surface
+    as ``WorkerCrashed`` and retry normally)."""
+
+    def __init__(self, worker_index: int, timeout_s: float):
+        super().__init__(
+            f"job exceeded its {timeout_s}s deadline on worker slot "
+            f"{worker_index}; the monitor killed the worker"
+        )
+        self.worker_index = worker_index
+        self.timeout_s = timeout_s
+
+    def __reduce__(self):  # pragma: no cover - never crosses the pipe today
+        return (JobDeadlineExceeded, (self.worker_index, self.timeout_s))
+
+
+def affinity_key(shard: WorldShard, query: str, params: dict | None) -> str:
+    """Stable identity of one job: shard key, world fingerprint, query text
+    and canonical params.  Sticky affinity routing hashes it to pick a warm
+    worker, and the write-ahead journal reuses it as the exactly-once
+    idempotency key — same material, same digest, one notion of "the same
+    job"."""
+    material = "\x00".join((
+        shard.key,
+        shard.world.fingerprint(),
+        query,
+        json.dumps(params, sort_keys=True, default=str) if params else "",
+    ))
+    return hashlib.blake2b(material.encode("utf-8"), digest_size=16).hexdigest()
+
+
 @dataclass(frozen=True)
 class JobPayload:
     """Everything a worker process needs to run one job, picklable.
@@ -434,7 +469,9 @@ class _WorkerSlot:
         self.reply_w = None
         self.templates_sent: set[str] = set()
         self.pending: deque = deque()  # (job_id, shard_key, query, params, trace)
-        self.inflight: set[int] = set()
+        #: job_id -> monotonic dispatch timestamp; the monitor's deadline
+        #: sweep reads the timestamps, everything else treats it as a set.
+        self.inflight: dict[int, float] = {}
 
     def depth(self) -> int:
         return len(self.pending) + len(self.inflight)
@@ -476,6 +513,7 @@ class ProcessPoolBackend(ExecutionBackend):
         steal_threshold: int = 2,
         dispatch_batch: int = 8,
         shm_min_bytes: int = transport.DEFAULT_SHM_MIN_BYTES,
+        job_timeout_s: float | None = None,
     ):
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
@@ -483,6 +521,9 @@ class ProcessPoolBackend(ExecutionBackend):
             raise ValueError("dispatch_batch must be >= 1")
         if steal_threshold < 0:
             raise ValueError("steal_threshold must be >= 0")
+        if job_timeout_s is not None and job_timeout_s <= 0:
+            raise ValueError("job_timeout_s must be positive (or None)")
+        self.job_timeout_s = job_timeout_s
         self.num_workers = num_workers
         self.affinity_enabled = affinity
         self.steal_threshold = steal_threshold
@@ -514,6 +555,7 @@ class ProcessPoolBackend(ExecutionBackend):
             "hits": 0, "misses": 0, "steals": 0, "respawns": 0,
             "batches": 0, "dispatched": 0,
             "shm_results": 0, "shm_bytes": 0, "inline_results": 0,
+            "deadline_kills": 0,
         }
 
     # -- lifecycle ---------------------------------------------------------
@@ -661,13 +703,7 @@ class ProcessPoolBackend(ExecutionBackend):
 
     def _affinity_key(self, shard: WorldShard, query: str,
                       params: dict | None) -> str:
-        material = "\x00".join((
-            shard.key,
-            shard.world.fingerprint(),
-            query,
-            json.dumps(params, sort_keys=True, default=str) if params else "",
-        ))
-        return hashlib.blake2b(material.encode("utf-8"), digest_size=16).hexdigest()
+        return affinity_key(shard, query, params)
 
     def _choose_slot(self, key: str | None, shard_key: str,
                      excluded: tuple[int, ...]) -> _WorkerSlot:
@@ -794,8 +830,9 @@ class ProcessPoolBackend(ExecutionBackend):
                     # here (shard forgotten mid-dispatch) must not poison
                     # the slot for a later re-registration of the shard.
                     slot.templates_sent |= set(templates)
+                    now = time.monotonic()
                     for row in rows:
-                        slot.inflight.add(row[0])
+                        slot.inflight[row[0]] = now
                     self._counts["batches"] += 1
                     sends.append((slot.request_q, ("batch", templates, rows)))
             for queue, message in sends:
@@ -910,7 +947,7 @@ class ProcessPoolBackend(ExecutionBackend):
                 if deltas and self.metrics is not None:
                     self.metrics.absorb(deltas)
             with self._lock:
-                slot.inflight.discard(job_id)
+                slot.inflight.pop(job_id, None)
                 future = self._futures.pop(job_id, None)
                 if meta is not None:
                     self._proc_cache_stats[meta["pid"]] = meta["cache"]
@@ -936,8 +973,53 @@ class ProcessPoolBackend(ExecutionBackend):
             else:
                 future.set_exception(_decode_exception(blob))
 
+    def _enforce_deadlines(self) -> None:
+        """The monitor plane's per-job deadline sweep.
+
+        A job older than ``job_timeout_s`` on a worker has its future
+        failed with :class:`JobDeadlineExceeded` and its worker process
+        killed — preforked workers run arbitrary generated code, so the
+        only reliable preemption is taking the process down and letting
+        the respawn path rebuild the slot.  Sibling in-flight jobs on the
+        same worker die as ordinary :class:`WorkerCrashed` retries.
+        """
+        now = time.monotonic()
+        victims: list[tuple[_WorkerSlot, list[int]]] = []
+        with self._lock:
+            for slot in self._slots:
+                if slot.process is None or not slot.inflight:
+                    continue
+                overdue = [job_id for job_id, sent in slot.inflight.items()
+                           if now - sent > self.job_timeout_s]
+                if overdue:
+                    victims.append((slot, overdue))
+        for slot, overdue in victims:
+            futures = []
+            with self._lock:
+                if slot.process is None or not slot.process.is_alive():
+                    continue  # already died; the sentinel path owns cleanup
+                for job_id in overdue:
+                    future = self._futures.pop(job_id, None)
+                    slot.inflight.pop(job_id, None)
+                    if future is not None:
+                        futures.append(future)
+                self._counts["deadline_kills"] += 1
+                process = slot.process
+            for future in futures:
+                future.set_exception(
+                    JobDeadlineExceeded(slot.index, self.job_timeout_s))
+            if self.flight is not None:
+                self.flight.record("job_deadline_exceeded", {
+                    "slot": slot.index,
+                    "jobs": len(futures),
+                    "timeout_s": self.job_timeout_s,
+                })
+            process.kill()  # the sentinel wait below respawns the slot
+
     def _monitor_loop(self) -> None:
         while not self._stop.is_set():
+            if self.job_timeout_s is not None:
+                self._enforce_deadlines()
             with self._lock:
                 # Every spawned process, alive or not: a worker that died
                 # between two wait windows has a ready sentinel and MUST
@@ -1040,6 +1122,10 @@ class ProcessPoolBackend(ExecutionBackend):
                 "shm_bytes": counts["shm_bytes"],
                 "inline_results": counts["inline_results"],
             },
+            "deadline": {
+                "timeout_s": self.job_timeout_s,
+                "kills": counts["deadline_kills"],
+            },
         }
 
     def _template_for(self, shard: WorldShard) -> JobPayload:
@@ -1088,8 +1174,13 @@ def build_backend(
     steal_threshold: int = 2,
     dispatch_batch: int = 8,
     shm_min_bytes: int = transport.DEFAULT_SHM_MIN_BYTES,
+    job_timeout_s: float | None = None,
 ) -> ExecutionBackend:
-    """Backend factory for :class:`ServeConfig.backend` names."""
+    """Backend factory for :class:`ServeConfig.backend` names.
+
+    ``job_timeout_s`` only binds on the process backend — the thread
+    backend runs jobs on the claiming thread, which Python cannot preempt.
+    """
     if name == "thread":
         return ThreadPoolBackend()
     if name == "process":
@@ -1101,5 +1192,6 @@ def build_backend(
             steal_threshold=steal_threshold,
             dispatch_batch=dispatch_batch,
             shm_min_bytes=shm_min_bytes,
+            job_timeout_s=job_timeout_s,
         )
     raise BackendError(f"unknown backend {name!r}; expected one of {BACKEND_NAMES}")

@@ -11,7 +11,9 @@ broker owns the moving parts — one :class:`PriorityScheduler`, one
 from __future__ import annotations
 
 import dataclasses
+import random
 import threading
+import time
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Callable
@@ -19,10 +21,17 @@ from typing import Callable
 from repro.core.artifacts import PipelineResult
 from repro.core.registry import Registry
 from repro.obs import FlightRecorder, MetricsRegistry, Tracer, resolve_tracer
-from repro.serve.backends import WorkerCrashed, build_backend
+from repro.serve.backends import WorkerCrashed, affinity_key, build_backend
 from repro.serve.cache import ArtifactCache
+from repro.serve.journal import DeadLetterQueue, JournalState, WriteAheadJournal
 from repro.serve.provenance import ProvenanceLedger
-from repro.serve.scheduler import PriorityScheduler, SchedulerClosed, WorldShard
+from repro.serve.recovery import RecoveryReport, ReplayedResult, recover
+from repro.serve.scheduler import (
+    PriorityScheduler,
+    SchedulerClosed,
+    SchedulerSaturated,
+    WorldShard,
+)
 from repro.serve.workers import WorkerPool
 from repro.synth.world import SyntheticWorld
 
@@ -35,6 +44,9 @@ class JobState(str, Enum):
     DONE = "done"
     FAILED = "failed"
     CANCELLED = "cancelled"
+    #: Terminal: the crash-loop circuit breaker sent this job to the
+    #: dead-letter queue instead of letting it kill another worker.
+    QUARANTINED = "quarantined"
 
 
 @dataclass
@@ -85,6 +97,42 @@ class ServeConfig:
     #: driver points it at ``--cache-dir`` so postmortems sit next to the
     #: artifact cache.
     flight_dir: str | None = None
+    #: Directory for the write-ahead journal (see :mod:`repro.serve.journal`).
+    #: ``None`` disables durability entirely — no journal, no recovery, no
+    #: submit-level dedup.  With a directory set, the broker replays
+    #: whatever the directory holds at construction and resumes: journaled
+    #: completions re-join byte-identically on resubmission, journaled
+    #: submissions without a completion are requeued at :meth:`start`.
+    journal_dir: str | None = None
+    #: fsync every durable journal append.  Disable only for benchmarks
+    #: that want the framing without the disk round-trip.
+    journal_fsync: bool = True
+    journal_segment_bytes: int = 1_000_000
+    #: Appends between checkpoint compactions (each checkpoint persists the
+    #: reduced state and deletes the segments it covers).
+    journal_checkpoint_every: int = 1000
+    #: Per-job wall-clock deadline, enforced by the process backend's
+    #: monitor plane (the worker is killed, the job fails with
+    #: ``JobDeadlineExceeded``).  The thread backend cannot preempt a
+    #: claiming thread and ignores it.  ``None`` disables deadlines.
+    job_timeout_s: float | None = None
+    #: Crash retries per submission before the job fails (each retry
+    #: excludes the worker slots that already died on it).
+    max_retries: int = 1
+    #: Decorrelated-jitter backoff between crash retries: each delay is
+    #: uniform(base, 3 * previous) capped at ``retry_backoff_cap_s``.
+    #: Set the base to 0 to retry immediately (the pre-journal behaviour).
+    retry_backoff_base_s: float = 0.05
+    retry_backoff_cap_s: float = 1.0
+    #: Worker deaths a single (world, query) signature may cause before the
+    #: crash-loop circuit breaker quarantines it into the dead-letter
+    #: queue.  0 disables the breaker.
+    crash_loop_threshold: int = 3
+    #: Scheduler depth beyond which submissions raise
+    #: :class:`QueueSaturated` instead of queueing — explicit backpressure
+    #: for producers that can defer (forensic triggers back off and
+    #: re-enqueue).  ``None`` keeps the queue unbounded.
+    max_queue_depth: int | None = None
 
 
 @dataclass
@@ -101,6 +149,12 @@ class Job:
     error: str = ""
     done: threading.Event = field(default_factory=threading.Event, repr=False)
     trace_id: str = ""
+    #: Idempotency key (the affinity blake2b key) when the broker journals;
+    #: "" otherwise.
+    key: str = ""
+    #: True when the result was rematerialized from a journaled completion
+    #: instead of running the pipeline.
+    replayed: bool = False
     #: The job's root span and its queue-wait child, open from submit until
     #: settle.  ``None`` whenever tracing is off.
     root_span: object = field(default=None, repr=False, compare=False)
@@ -115,11 +169,27 @@ class Job:
             "state": self.state.value,
             "error": self.error,
             "trace_id": self.trace_id,
+            "key": self.key,
+            "replayed": self.replayed,
         }
 
 
 class BrokerError(RuntimeError):
     """Unknown tickets, bad world keys, or use after shutdown."""
+
+
+class QueueSaturated(BrokerError):
+    """Submission rejected: the scheduler is at ``max_queue_depth``.
+
+    Explicit backpressure, not failure — the producer should back off and
+    resubmit once the backlog drains (forensic triggers do exactly that).
+    """
+
+
+class PoisonJobQuarantined(BrokerError):
+    """Settled-as-outcome when the crash-loop circuit breaker trips: the
+    job's (world, query) signature has killed too many workers and now
+    lives in the dead-letter queue until drained."""
 
 
 class QueryBroker:
@@ -167,6 +237,46 @@ class QueryBroker:
             else None
         )
         self.ledger = ProvenanceLedger()
+        # Durability plane: open (and replay) the write-ahead journal before
+        # anything can submit, so every recovered fact — completions to
+        # re-join, submissions to requeue, quarantines to re-arm — is in
+        # hand when the first job arrives.
+        self.journal: WriteAheadJournal | None = None
+        self.recovery: RecoveryReport | None = None
+        if self.config.journal_dir:
+            recovery_span = (
+                self.tracer.start_span("recovery", cat="serve",
+                                       journal_dir=self.config.journal_dir)
+                if self.tracer.enabled else None
+            )
+            self.journal = WriteAheadJournal(
+                self.config.journal_dir,
+                max_segment_bytes=self.config.journal_segment_bytes,
+                checkpoint_every=self.config.journal_checkpoint_every,
+                fsync=self.config.journal_fsync,
+                metrics=self.metrics,
+            )
+            self.recovery = recover(self.journal, ledger=self.ledger)
+            self.metrics.gauge("recovery_replayed_records").set(
+                self.recovery.replayed_records)
+            if recovery_span is not None:
+                recovery_span.annotate(
+                    replayed_records=self.recovery.replayed_records,
+                    completions=self.recovery.completions,
+                    pending=len(self.recovery.pending),
+                    deadletter=self.recovery.deadletter,
+                    truncated_bytes=self.recovery.truncated_bytes,
+                ).end()
+        self.deadletter = DeadLetterQueue(journal=self.journal,
+                                          metrics=self.metrics)
+        #: Terminal outcome per idempotency key: seeded from recovery,
+        #: extended by every journaled settle.  ``submit`` consults it to
+        #: re-join completed work instead of re-running it.
+        self._completed: dict[str, dict] = (
+            dict(self.journal.state.completions) if self.journal else {}
+        )
+        self._key_tickets: dict[str, str] = {}  # live (unsettled) keys
+        self._poison: dict[str, dict] = {}  # crash counts per (world, query)
         self.backend = build_backend(
             self.config.backend,
             num_workers=self.config.workers,
@@ -178,6 +288,7 @@ class QueryBroker:
             steal_threshold=self.config.steal_threshold,
             dispatch_batch=self.config.dispatch_batch,
             shm_min_bytes=self.config.shm_min_bytes,
+            job_timeout_s=self.config.job_timeout_s,
         )
         # The backend contributes to the same obs plane: it ingests
         # worker-side spans/metric deltas as replies arrive.
@@ -186,9 +297,12 @@ class QueryBroker:
         self.backend.flight = self.flight
         if self.flight is not None:
             self.flight.add_source("broker", self.stats)
+            if self.journal is not None:
+                self.flight.add_source("journal", self.journal.stats)
             if self.tracer.enabled:
                 self.tracer.add_listener(self.flight.ingest_spans)
-        self._scheduler = PriorityScheduler(metrics=self.metrics)
+        self._scheduler = PriorityScheduler(
+            metrics=self.metrics, max_depth=self.config.max_queue_depth)
         self._pool = WorkerPool(
             self._scheduler,
             self._run_job,
@@ -207,7 +321,8 @@ class QueryBroker:
         self._lock = threading.Lock()
         self._ticket_counter = 0
         self._pruned = 0
-        self._finished_total = {"done": 0, "failed": 0, "cancelled": 0}
+        self._finished_total = {"done": 0, "failed": 0, "cancelled": 0,
+                                "quarantined": 0}
         self._submitted_by_priority: dict[int, int] = {}
         self._default_registry = registry
         self.metrics.register_collector(self._refresh_gauges)
@@ -224,7 +339,39 @@ class QueryBroker:
             # exist, or the children could inherit mid-held locks.
             self.backend.start()
             self._pool.start()
+            self._resume_pending()
         return self
+
+    def _resume_pending(self) -> None:
+        """Requeue the crashed run's outstanding jobs (scheduler-queue
+        reconstruction).
+
+        Only submissions whose world is already registered resume here —
+        live-plane epoch shards are rebuilt by their own managers, and
+        their standing queries resubmit on the next epoch.  Quarantined
+        signatures stay in the dead-letter queue rather than resuming a
+        crash loop.
+        """
+        if self.recovery is None or not self.recovery.pending:
+            return
+        resubmitted = 0
+        for record in self.recovery.pending:
+            world_key = record.get("world_key", DEFAULT_WORLD_KEY)
+            query = record.get("query", "")
+            with self._lock:
+                known = world_key in self._shards
+            if not known or self.deadletter.contains(world_key, query):
+                continue
+            try:
+                self.submit(query, params=record.get("params"),
+                            priority=record.get("priority", 0),
+                            world_key=world_key)
+            except BrokerError:
+                continue
+            resubmitted += 1
+        self.recovery.resubmitted = resubmitted
+        if resubmitted:
+            self.metrics.counter("recovery_resubmitted_total").inc(resubmitted)
 
     def shutdown(self, wait: bool = True, drain: bool = True) -> None:
         started = self._pool.started
@@ -234,6 +381,8 @@ class QueryBroker:
             self._scheduler.close()
         if wait or not started:
             self.backend.shutdown(wait=wait)
+            if self.journal is not None:
+                self.journal.close()
         else:
             # Claimer threads are still draining; close the backend only
             # once they exit, so in-flight and queued jobs run to completion.
@@ -244,6 +393,8 @@ class QueryBroker:
     def _shutdown_backend_after_drain(self) -> None:
         self._pool.join()
         self.backend.shutdown(wait=True)
+        if self.journal is not None:
+            self.journal.close()
 
     def __enter__(self) -> "QueryBroker":
         return self.start()
@@ -338,13 +489,33 @@ class QueryBroker:
             raise BrokerError("query must be non-empty")
         if self._scheduler.closed:
             raise BrokerError("broker is shut down; no new submissions")
-        self.shard(world_key)  # validate the world key eagerly
+        shard = self.shard(world_key)  # validate the world key eagerly
+        key = ""
+        if self.journal is not None:
+            # Exactly-once dedup: a journaled completion re-joins without
+            # running; a live in-flight twin shares its ticket.
+            key = affinity_key(shard, query, params)
+            replayed = self._replay_completed(key, query, params, priority,
+                                              world_key)
+            if replayed is not None:
+                return replayed
+            with self._lock:
+                existing = self._key_tickets.get(key)
+                if existing is not None and existing in self._jobs:
+                    return existing
+        if self.deadletter.contains(world_key, query):
+            # Circuit open: the signature goes straight to the dead-letter
+            # queue instead of killing another worker.
+            return self._quarantine_submit(query, params, priority,
+                                           world_key, key)
         with self._lock:
             self._ticket_counter += 1
             ticket = f"job-{self._ticket_counter:06d}"
             job = Job(ticket=ticket, query=query, params=params,
-                      priority=priority, world_key=world_key)
+                      priority=priority, world_key=world_key, key=key)
             self._jobs[ticket] = job
+            if key:
+                self._key_tickets[key] = ticket
             self._submitted_by_priority[priority] = (
                 self._submitted_by_priority.get(priority, 0) + 1
             )
@@ -362,16 +533,88 @@ class QueryBroker:
             job.trace_id = job.root_span.context.trace_id
         self.metrics.counter("broker_jobs_submitted_total").inc()
         self.ledger.open(ticket, query, world_key, trace_id=job.trace_id)
+        if self.journal is not None:
+            # The WAL property: the submission is durable before the
+            # scheduler can hand it to a worker.
+            self.journal.append("submit", {
+                "ticket": ticket, "key": key, "query": query,
+                "params": params, "world_key": world_key,
+                "priority": priority,
+            })
         try:
             self._scheduler.push(job, priority=priority, shard=world_key)
-        except SchedulerClosed:
-            # Shutdown raced the submission — undo the registration rather
-            # than leave a permanently-queued orphan.
+        except (SchedulerClosed, SchedulerSaturated) as exc:
+            # Shutdown or backpressure raced the submission — undo the
+            # registration rather than leave a permanently-queued orphan.
             with self._lock:
                 self._jobs.pop(ticket, None)
+                if key:
+                    self._key_tickets.pop(key, None)
             self.ledger.remove(ticket)
             self._close_spans(job, "rejected")
+            if self.journal is not None:
+                self.journal.append("cancel", {"ticket": ticket})
+            if isinstance(exc, SchedulerSaturated):
+                self.metrics.counter("broker_submit_saturated_total").inc()
+                raise QueueSaturated(
+                    f"scheduler queue is at max depth "
+                    f"{self.config.max_queue_depth}; back off and resubmit"
+                ) from None
             raise BrokerError("broker is shut down; no new submissions") from None
+        return ticket
+
+    def _replay_completed(self, key: str, query: str, params: dict | None,
+                          priority: int, world_key: str) -> str | None:
+        """Re-join a journaled completion: mint a ticket already settled
+        with the journaled digest and final output, byte-identical to the
+        run that produced it.  Failed completions return ``None`` — they
+        re-run fresh (that is the drain-and-retry path)."""
+        completion = self._completed.get(key)
+        if completion is None or completion.get("status") != "done":
+            return None
+        with self._lock:
+            self._ticket_counter += 1
+            ticket = f"job-{self._ticket_counter:06d}"
+            job = Job(ticket=ticket, query=query, params=params,
+                      priority=priority, world_key=world_key,
+                      key=key, replayed=True)
+            job.state = JobState.DONE
+            job.result = ReplayedResult(completion)
+            self._jobs[ticket] = job
+            self._finished_total["done"] += 1
+        self.metrics.counter("broker_jobs_replayed_total").inc()
+        entry = self.ledger.open(ticket, query, world_key)
+        entry.worker = "journal-replay"
+        entry.status = "done"
+        entry.finished_at = self.ledger.now()
+        job.done.set()
+        self._prune_finished()
+        return ticket
+
+    def _quarantine_submit(self, query: str, params: dict | None,
+                           priority: int, world_key: str, key: str) -> str:
+        """Settle a circuit-open submission straight into the DLQ."""
+        error = ("quarantined: crash-loop circuit breaker is open for this "
+                 "(world, query) signature; drain the dead-letter queue to retry")
+        with self._lock:
+            self._ticket_counter += 1
+            ticket = f"job-{self._ticket_counter:06d}"
+            job = Job(ticket=ticket, query=query, params=params,
+                      priority=priority, world_key=world_key, key=key)
+            job.state = JobState.QUARANTINED
+            job.error = error
+            self._jobs[ticket] = job
+            self._finished_total["quarantined"] += 1
+        self.metrics.counter("broker_jobs_quarantined_total").inc()
+        self.deadletter.quarantine(world_key, query, key=key, params=params,
+                                   priority=priority, ticket=ticket,
+                                   error=error)
+        entry = self.ledger.open(ticket, query, world_key)
+        entry.status = "quarantined"
+        entry.error = error
+        entry.finished_at = self.ledger.now()
+        job.done.set()
+        self._prune_finished()
         return ticket
 
     def cancel(self, ticket: str) -> bool:
@@ -390,6 +633,10 @@ class QueryBroker:
             job.state = JobState.CANCELLED
             job.error = "cancelled before execution"
             self._finished_total["cancelled"] += 1
+            if job.key:
+                self._key_tickets.pop(job.key, None)
+        if self.journal is not None and job.key:
+            self.journal.append("cancel", {"ticket": ticket})
         self.ledger.mark_finished(ticket, "cancelled", job.error)
         self._close_spans(job, "cancelled")
         job.done.set()
@@ -492,6 +739,10 @@ class QueryBroker:
             "scheduler": self._scheduler.stats(),
             "backend": self.backend.stats(),
             "cache": self.cache.stats() if self.cache else None,
+            "journal": self.journal.stats() if self.journal is not None else None,
+            "recovery": (self.recovery.to_dict()
+                         if self.recovery is not None else None),
+            "deadletter": self.deadletter.stats(),
             "worlds": self.world_keys(),
             "obs": {
                 "tracer": self.tracer.stats(),
@@ -531,6 +782,13 @@ class QueryBroker:
             try:
                 provenance = self.ledger.get(job.ticket)
                 self.ledger.mark_started(job.ticket, worker_name)
+                if self.journal is not None and job.key:
+                    # Claims are flushed but not fsync'd: they only enrich
+                    # recovered provenance, never gate resumption, so the
+                    # hot path skips the per-job disk round-trip.
+                    self.journal.append("claim", {"ticket": job.ticket,
+                                                  "worker": worker_name},
+                                        sync=False)
                 items.append((self.shard(job.world_key), job.query, job.params,
                               provenance.observer(),
                               dspan.context if dspan is not None else None))
@@ -546,15 +804,36 @@ class QueryBroker:
         if not claimed:
             return
         outcomes = self.backend.run_many(items)
-        crashed = [i for i, out in enumerate(outcomes)
-                   if isinstance(out, WorkerCrashed)]
-        if crashed:
-            # One retry per job, redispatched as a batch so the surviving
-            # workers overlap the retries the way they did the originals.
-            excluded = tuple({outcomes[i].worker_index for i in crashed})
+        excluded: set[int] = set()
+        backoff_s = self.config.retry_backoff_base_s
+        for _attempt in range(max(0, self.config.max_retries)):
+            crashed = [i for i, out in enumerate(outcomes)
+                       if isinstance(out, WorkerCrashed)]
+            if not crashed:
+                break
+            # Every crash is one worker death charged to the job's
+            # (world, query) signature; a signature over the crash-loop
+            # threshold is quarantined instead of retried.
+            excluded |= {outcomes[i].worker_index for i in crashed}
+            retriable: list[int] = []
             for index in crashed:
+                if self._record_crash(claimed[index],
+                                      outcomes[index].worker_index):
+                    retriable.append(index)
+                else:
+                    outcomes[index] = PoisonJobQuarantined(
+                        f"{claimed[index].query!r} on world "
+                        f"{claimed[index].world_key!r} exceeded the "
+                        f"crash-loop threshold "
+                        f"({self.config.crash_loop_threshold} worker deaths)"
+                    )
+            for index in retriable:
                 self.ledger.mark_retried(claimed[index].ticket)
                 self.metrics.counter("broker_job_retries_total").inc()
+                if self.journal is not None and claimed[index].key:
+                    self.journal.append(
+                        "retry", {"ticket": claimed[index].ticket},
+                        sync=False)
                 if dspans[index] is not None:
                     dspans[index].annotate(retried=True)
             if self.flight is not None:
@@ -576,18 +855,63 @@ class QueryBroker:
                         self.ledger.get(ticket).flight_dump = dump_path
                     except KeyError:
                         pass
+            if not retriable:
+                break
+            if backoff_s > 0:
+                # Decorrelated jitter: uniform(base, 3 * previous), capped.
+                # Crash loops spread out instead of hammering the respawn
+                # path in lockstep.
+                delay = min(
+                    self.config.retry_backoff_cap_s,
+                    random.uniform(self.config.retry_backoff_base_s,
+                                   max(self.config.retry_backoff_base_s,
+                                       backoff_s * 3.0)),
+                )
+                time.sleep(delay)
+                backoff_s = delay
             retried = self.backend.run_many(
-                [items[i] for i in crashed], excluded_workers=excluded
+                [items[i] for i in retriable],
+                excluded_workers=tuple(excluded),
             )
-            for index, outcome in zip(crashed, retried):
+            for index, outcome in zip(retriable, retried):
                 outcomes[index] = outcome
         for job, outcome, dspan in zip(claimed, outcomes, dspans):
             if dspan is not None:
                 dspan.end()
             self._settle(job, outcome)
 
+    def _record_crash(self, job: Job, worker_index: int) -> bool:
+        """Charge one worker death to the job's signature; ``True`` means
+        the job may retry, ``False`` means the breaker tripped and the job
+        now belongs to the dead-letter queue."""
+        threshold = self.config.crash_loop_threshold
+        sig = JournalState.signature(job.world_key, job.query)
+        with self._lock:
+            counts = self._poison.setdefault(sig, {"crashes": 0, "slots": set()})
+            counts["crashes"] += 1
+            counts["slots"].add(worker_index)
+            crashes = counts["crashes"]
+            slots = sorted(counts["slots"])
+        if threshold <= 0 or crashes < threshold:
+            return True
+        self.deadletter.quarantine(
+            job.world_key, job.query, key=job.key, params=job.params,
+            priority=job.priority, ticket=job.ticket, crashes=crashes,
+            worker_slots=slots,
+            error=(f"{crashes} worker deaths; crash-loop circuit breaker "
+                   "open"),
+        )
+        return False
+
     def _settle(self, job: Job, outcome) -> None:
-        if isinstance(outcome, Exception):
+        if isinstance(outcome, PoisonJobQuarantined):
+            # _record_crash already filed the DLQ entry; this settles the
+            # ticket so its waiter learns the verdict.
+            job.error = f"quarantined: {outcome}"
+            job.state = JobState.QUARANTINED
+            self.ledger.mark_finished(job.ticket, "quarantined", job.error)
+            self.metrics.counter("broker_jobs_quarantined_total").inc()
+        elif isinstance(outcome, Exception):
             # A failed job must never take a worker down.
             job.error = f"{type(outcome).__name__}: {outcome}"
             job.state = JobState.FAILED
@@ -601,10 +925,38 @@ class QueryBroker:
                 job.error = outcome.execution.error
                 job.state = JobState.FAILED
                 self.ledger.mark_finished(job.ticket, "failed", job.error)
+        if job.state is JobState.DONE:
+            state_key = "done"
+        elif job.state is JobState.QUARANTINED:
+            state_key = "quarantined"
+        else:
+            state_key = "failed"
         with self._lock:
-            key = "done" if job.state is JobState.DONE else "failed"
-            self._finished_total[key] += 1
-        self.metrics.counter("broker_jobs_finished_total", {"state": key}).inc()
+            self._finished_total[state_key] += 1
+            if job.key:
+                self._key_tickets.pop(job.key, None)
+        self.metrics.counter("broker_jobs_finished_total",
+                             {"state": state_key}).inc()
+        if self.journal is not None and job.key:
+            # The completion is the exactly-once anchor: its digest is what
+            # a resumed campaign re-joins instead of re-running the job.
+            completion = {
+                "ticket": job.ticket, "key": job.key, "query": job.query,
+                "world_key": job.world_key,
+                "status": "done" if job.state is JobState.DONE else "failed",
+            }
+            if job.state is JobState.QUARANTINED:
+                completion["quarantined"] = True
+            if job.error:
+                completion["error"] = job.error
+            if job.state is JobState.DONE and job.result is not None:
+                completion["digest"] = job.result.artifact_digest()
+                final = job.result.execution.outputs.get("final")
+                if final is not None:
+                    completion["final"] = final
+            record = self.journal.append("complete", completion)
+            with self._lock:
+                self._completed[job.key] = record
         self._close_spans(job, job.state.value)
         job.done.set()
         self._prune_finished()
@@ -630,7 +982,8 @@ class QueryBroker:
                 for ticket, job in self._jobs.items():
                     if len(victims) >= overshoot:
                         break
-                    if job.state in (JobState.DONE, JobState.FAILED, JobState.CANCELLED):
+                    if job.state in (JobState.DONE, JobState.FAILED,
+                                     JobState.CANCELLED, JobState.QUARANTINED):
                         victims.append(ticket)
                 for ticket in victims:
                     del self._jobs[ticket]

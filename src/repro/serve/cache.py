@@ -98,7 +98,9 @@ class ArtifactCache:
 
         The file preserves LRU order (least recently used first) so a later
         :meth:`load` reconstructs the same eviction order.  The write is
-        atomic — a crashed spill can never leave a half-written cache file
+        crash-atomic: the document is fsync'd to a sidecar before the
+        ``os.replace``, so even a power cut mid-spill leaves either the old
+        complete file or the new complete file — never a half-written cache
         for the next broker to trip over.
         """
         with self._lock:
@@ -107,7 +109,19 @@ class ArtifactCache:
         tmp_path = f"{path}.tmp.{os.getpid()}"
         with open(tmp_path, "w", encoding="utf-8") as handle:
             json.dump(document, handle, sort_keys=False, separators=(",", ":"))
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(tmp_path, path)
+        try:
+            dir_fd = os.open(os.path.dirname(path) or ".", os.O_RDONLY)
+        except OSError:
+            return len(snapshot)
+        try:
+            os.fsync(dir_fd)
+        except OSError:
+            pass
+        finally:
+            os.close(dir_fd)
         return len(snapshot)
 
     def load(self, path: str) -> int:

@@ -111,6 +111,9 @@ class CampaignReport:
     top_countries: list[dict] = field(default_factory=list)
     cache: dict | None = None
     tickets: list[str] = field(default_factory=list)
+    #: Jobs whose results were re-joined from a journaled completion (a
+    #: resumed campaign) rather than executed; counts toward ``succeeded``.
+    replayed: int = 0
 
     @property
     def all_succeeded(self) -> bool:
@@ -126,6 +129,7 @@ class CampaignReport:
             "outcomes": list(self.outcomes),
             "top_countries": list(self.top_countries),
             "cache": dict(self.cache) if self.cache else None,
+            "replayed": self.replayed,
         }
 
     def summary_rows(self) -> list[tuple]:
@@ -199,9 +203,11 @@ def run_campaign(
     outcomes = []
     results = []
     succeeded = 0
+    replayed = 0
     for job_spec, job in zip(jobs, finished):
         ok = job.state is JobState.DONE
         succeeded += 1 if ok else 0
+        replayed += 1 if job.replayed else 0
         if job.result is not None:
             results.append(job.result)
         outcomes.append({
@@ -209,6 +215,7 @@ def run_campaign(
             "tag": job_spec.tag,
             "state": job.state.value,
             "error": job.error,
+            "replayed": job.replayed,
         })
     return CampaignReport(
         total=len(jobs),
@@ -222,4 +229,5 @@ def run_campaign(
         ),
         cache=broker.cache.stats() if broker.cache else None,
         tickets=tickets,
+        replayed=replayed,
     )

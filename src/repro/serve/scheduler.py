@@ -72,15 +72,30 @@ class SchedulerClosed(RuntimeError):
     """Raised when pushing to a scheduler that has been closed."""
 
 
-class PriorityScheduler:
-    """Thread-safe priority queue with FIFO order inside each band."""
+class SchedulerSaturated(RuntimeError):
+    """Raised when pushing to a scheduler already at ``max_depth``."""
 
-    def __init__(self, metrics: MetricsRegistry | None = None):
+
+class PriorityScheduler:
+    """Thread-safe priority queue with FIFO order inside each band.
+
+    ``max_depth`` bounds admission: a push against a full queue raises
+    :class:`SchedulerSaturated` instead of growing without limit, so
+    producers that can defer (forensic triggers, standing queries) get an
+    explicit backpressure signal rather than silently drowning the band.
+    """
+
+    def __init__(self, metrics: MetricsRegistry | None = None,
+                 max_depth: int | None = None):
+        if max_depth is not None and max_depth < 1:
+            raise ValueError("max_depth must be >= 1 (or None for unbounded)")
+        self.max_depth = max_depth
         self._heap: list[tuple[int, int, str, float, Any]] = []
         self._seq = itertools.count()
         self._cond = threading.Condition()
         self._closed = False
         self._pushed = 0
+        self._rejected = 0
         self._popped = 0
         self._per_shard: dict[str, int] = {}
         self._pushed_by_priority: dict[int, int] = {}
@@ -102,6 +117,11 @@ class PriorityScheduler:
         with self._cond:
             if self._closed:
                 raise SchedulerClosed("scheduler is closed to new work")
+            if self.max_depth is not None and len(self._heap) >= self.max_depth:
+                self._rejected += 1
+                raise SchedulerSaturated(
+                    f"scheduler queue is at max depth {self.max_depth}"
+                )
             heapq.heappush(
                 self._heap,
                 (-priority, next(self._seq), shard, time.time(), item),
@@ -184,6 +204,8 @@ class PriorityScheduler:
                 "queued": len(self._heap),
                 "pushed": self._pushed,
                 "popped": self._popped,
+                "rejected": self._rejected,
+                "max_depth": self.max_depth,
                 "closed": self._closed,
                 "per_shard_queued": {
                     k: v for k, v in sorted(self._per_shard.items()) if v

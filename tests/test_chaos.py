@@ -169,6 +169,179 @@ def test_kill_during_forensic_replay_loop_still_closes(chaos_world):
     assert _leaked_segments() == []
 
 
+_RUNNER = """\
+import sys
+
+from repro.serve import QueryBroker, ServeConfig, run_campaign
+from repro.serve.campaign import CampaignJob
+from repro.synth.world import WorldConfig, build_world
+
+QUERY = "Identify the impact at a country level due to {} cable failure"
+world = build_world(WorldConfig(seed=3, tier1_count=6, tier2_per_region=2,
+                                edge_density=0.5))
+jobs = [CampaignJob(query=QUERY.format(cable), tag=cable)
+        for cable in world.cable_names()]
+broker = QueryBroker(world, config=ServeConfig(
+    workers=1, journal_dir=sys.argv[1])).start()
+run_campaign(broker, jobs, timeout=600)
+broker.shutdown()
+"""
+
+
+def _campaign_digests(world, journal_dir, jobs):
+    """Run the campaign against a journaled broker; return tag -> digest."""
+    from repro.serve import run_campaign
+
+    broker = QueryBroker(world, config=ServeConfig(
+        workers=1, journal_dir=journal_dir)).start()
+    try:
+        report = run_campaign(broker, jobs, timeout=600)
+        assert report.all_succeeded, report.outcomes
+        digests = {
+            row["tag"]: broker.wait(row["ticket"]).result.artifact_digest()
+            for row in report.outcomes
+        }
+        return digests, report, broker.recovery
+    finally:
+        broker.shutdown()
+
+
+@pytest.mark.chaos
+def test_sigkill_broker_mid_campaign_resumes_exactly_once(chaos_world,
+                                                          tmp_path):
+    """The tentpole invariant: SIGKILL the *broker process* mid-campaign,
+    restart on the same journal, and the resumed campaign must (a) produce
+    aggregate artifact digests byte-identical to an uninterrupted run and
+    (b) execute no journaled-complete job twice — exactly-once resume."""
+    import signal
+    import subprocess
+    import sys
+
+    from repro.serve.campaign import CampaignJob
+    from repro.serve.journal import replay_directory, segment_paths
+
+    # CI points JOURNAL_DUMP_DIR at a workspace directory and uploads the
+    # surviving journal as a build artifact (postmortem evidence of the
+    # kill, the resume, and the dedup).
+    base = os.environ.get("JOURNAL_DUMP_DIR") or str(tmp_path)
+    os.makedirs(base, exist_ok=True)
+    wal = os.path.join(base, "wal-interrupted")
+    runner = tmp_path / "runner.py"
+    runner.write_text(_RUNNER)
+    env = dict(os.environ, PYTHONPATH="src")
+    proc = subprocess.Popen([sys.executable, str(runner), wal], env=env)
+    jobs = [CampaignJob(query=QUERY.format(cable), tag=cable)
+            for cable in chaos_world.cable_names()]
+    try:
+        # Poll the journal (read-only: truncate=False — the victim still
+        # owns the live segment) until the campaign is provably mid-flight.
+        deadline = time.time() + 300
+        while time.time() < deadline:
+            if proc.poll() is not None:
+                break
+            if os.path.isdir(wal):
+                state, _ = replay_directory(wal, truncate=False)
+                if state.completions:
+                    break
+            time.sleep(0.02)
+        killed_midway = proc.poll() is None
+        if killed_midway:
+            os.kill(proc.pid, signal.SIGKILL)
+        proc.wait(timeout=60)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=60)
+    state, _ = replay_directory(wal, truncate=False)
+    assert state.completions, "the victim never journaled a completion"
+    if killed_midway:
+        assert len(state.completions) < len(jobs), (
+            "kill landed after the campaign finished; nothing to resume"
+        )
+
+    # Restart on the same journal and finish the campaign.
+    digests, report, recovery = _campaign_digests(chaos_world, wal, jobs)
+    assert recovery.completions >= 1
+    # Every journaled completion re-joins without re-executing; pending
+    # jobs the broker resubmitted at start() that finish before the
+    # campaign's own submits re-join too, so >= not ==.
+    assert report.replayed >= recovery.completions, (
+        "a journaled completion was re-executed instead of re-joined"
+    )
+
+    # An uninterrupted control run must agree byte-for-byte.
+    control, _, _ = _campaign_digests(
+        chaos_world, os.path.join(base, "wal-clean"), jobs)
+    assert digests == control
+
+    # Exactly-once: across every surviving journal record, no job key has
+    # more than one successful completion (no duplicate side effects).
+    from repro.serve.journal import read_segment
+
+    done_per_key = {}
+    for _seq, path in segment_paths(wal):
+        records, _ = read_segment(path, truncate=False)
+        for record in records:
+            if record.get("kind") == "complete" and \
+                    record.get("status") == "done":
+                key = record["key"]
+                done_per_key[key] = done_per_key.get(key, 0) + 1
+    assert done_per_key, "no completions journaled"
+    duplicates = {k: n for k, n in done_per_key.items() if n > 1}
+    assert not duplicates, duplicates
+    assert _leaked_segments() == []
+
+
+@pytest.mark.chaos
+def test_crash_loop_trips_breaker_into_journaled_deadletter(chaos_world,
+                                                            tmp_path):
+    """A poison job that kills every worker it touches must stop killing
+    the pool: after the crash-loop threshold its signature is quarantined
+    into the journaled dead-letter queue, and the quarantine survives a
+    broker restart — resubmitting the poison query costs zero workers."""
+    wal = str(tmp_path / "wal")
+    broker = QueryBroker(
+        chaos_world,
+        config=ServeConfig(workers=2, backend="process", dispatch_batch=1,
+                           journal_dir=wal),
+    ).start()
+    try:
+        # Distinct params so the journal's in-flight dedup doesn't collapse
+        # the submissions into one job; the breaker keys on (world, query)
+        # alone, so all four still charge the same signature.
+        tickets = [
+            broker.submit("poison probe",
+                          params={FAULT_PARAM: "exit", "_probe": n})
+            for n in range(4)
+        ]
+        finished = broker.wait_all(tickets, timeout=300)
+        states = {job.state for job in finished}
+        assert states <= {JobState.FAILED, JobState.QUARANTINED}, states
+        assert JobState.QUARANTINED in states, (
+            "the crash loop never tripped the circuit breaker"
+        )
+        assert broker.deadletter.contains("default", "poison probe")
+        respawns_first_run = broker.stats()["backend"]["affinity"]["respawns"]
+    finally:
+        broker.shutdown()
+    # Restart on the same journal: the circuit is still open, so the same
+    # query short-circuits to quarantine without touching a worker.
+    broker = QueryBroker(
+        chaos_world,
+        config=ServeConfig(workers=2, backend="process", journal_dir=wal),
+    ).start()
+    try:
+        job = broker.wait(broker.submit("poison probe"), timeout=60)
+        assert job.state is JobState.QUARANTINED
+        assert broker.stats()["backend"]["affinity"]["respawns"] == 0, (
+            "a quarantined signature killed a worker after restart"
+        )
+        assert respawns_first_run >= 3  # the deaths that tripped the breaker
+    finally:
+        broker.shutdown()
+    assert _leaked_segments() == []
+
+
 @pytest.mark.chaos
 def test_sigkill_leaves_a_flight_dump_with_last_spans(chaos_world, tmp_path):
     """The black box: a SIGKILLed worker's postmortem dump must exist,

@@ -515,9 +515,11 @@ def test_live_healthz_flips_on_induced_crash_loop(small_world, tmp_path):
 
         # Phase 2: induce the crash loop. Both attempts of every job kill
         # their worker, so all four settle FAILED and the ratio hits 1.0.
+        # Distinct queries, or the crash-loop circuit breaker would
+        # quarantine the repeated signature instead of letting it fail.
         tickets = [
-            broker.submit("crash probe", params={FAULT_PARAM: "exit"})
-            for _ in range(4)
+            broker.submit(f"crash probe {n}", params={FAULT_PARAM: "exit"})
+            for n in range(4)
         ]
         for ticket in tickets:
             job = broker.wait(ticket, timeout=300)
